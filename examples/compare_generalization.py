@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Compare generalization strategies on one family of circuits.
+
+The paper's motivation is that inductive generalization dominates IC3's
+runtime.  This example runs the same scaling family (Johnson counters)
+under four engine configurations — basic MIC, CTG-aware MIC, the CAV'23
+parent-ordered MIC and basic MIC plus the paper's lemma prediction — and
+prints how the SAT-query and drop-attempt counts grow with the circuit
+size, which makes the saving from avoided variable dropping visible.
+
+Run with::
+
+    python examples/compare_generalization.py
+"""
+
+from repro import IC3, IC3Options
+from repro.benchgen import johnson_counter
+from repro.core.options import GeneralizationStrategy
+
+
+CONFIGURATIONS = [
+    ("basic MIC", IC3Options(generalization=GeneralizationStrategy.BASIC)),
+    ("CTG MIC", IC3Options(generalization=GeneralizationStrategy.CTG)),
+    ("parent-ordered MIC", IC3Options(generalization=GeneralizationStrategy.PARENT_ORDERED)),
+    ("basic MIC + prediction", IC3Options(generalization=GeneralizationStrategy.BASIC).with_prediction()),
+]
+
+WIDTHS = [5, 7, 9, 11]
+
+
+def main() -> None:
+    header = (
+        f"{'width':>5s}  {'configuration':<24s}  {'time(s)':>8s}  {'SAT':>6s}  "
+        f"{'drops':>6s}  {'SR_adv':>7s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for width in WIDTHS:
+        case = johnson_counter(width, safe=True)
+        for label, options in CONFIGURATIONS:
+            outcome = IC3(case.aig, options).check(time_limit=120)
+            stats = outcome.stats
+            sr_adv = "-" if stats.sr_adv is None else f"{100 * stats.sr_adv:5.1f}%"
+            print(
+                f"{width:>5d}  {label:<24s}  {outcome.runtime:8.2f}  "
+                f"{stats.sat_calls:6d}  {stats.mic_drop_attempts:6d}  {sr_adv:>7s}"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Debugging an UNSAFE design: extract, inspect and replay a counterexample.
+
+The example uses the combination-lock circuit (the lock opens after a
+specific input sequence), finds the opening sequence with IC3 + lemma
+prediction, cross-checks the shortest depth with BMC and k-induction, and
+replays the trace cycle by cycle on the AIG simulator — printing the latch
+contents and the bad signal at every step, the way a waveform viewer would
+show it.
+
+Run with::
+
+    python examples/counterexample_trace.py
+"""
+
+from repro import IC3, BMC, KInduction, CheckResult, IC3Options
+from repro.benchgen import combination_lock
+from repro.core import check_counterexample
+
+
+def main() -> None:
+    code = [1, 3, 2, 1]
+    case = combination_lock(code, symbol_bits=2)
+    aig = case.aig
+    print(f"Model: {case.describe()}")
+    print(f"Secret code: {code}")
+    print()
+
+    outcome = IC3(aig, IC3Options().with_prediction()).check(time_limit=120)
+    assert outcome.result == CheckResult.UNSAFE, outcome.summary()
+    check_counterexample(aig, outcome.trace)
+    print(f"IC3-pl found a counterexample of depth {outcome.trace.depth} "
+          f"in {outcome.runtime:.3f}s ({outcome.stats.sat_calls} SAT calls)")
+
+    bmc = BMC(aig).check(max_depth=len(code) + 2)
+    kind = KInduction(aig).check(max_k=len(code) + 2)
+    print(f"BMC shortest depth : {bmc.trace.depth}")
+    print(f"k-induction verdict: {kind.result.value}")
+    print()
+
+    print("Replaying the IC3 trace on the circuit simulator:")
+    records = aig.simulate(outcome.trace.input_sequence())
+    for step, record in enumerate(records):
+        symbol = sum(
+            (1 << i) for i, lit in enumerate(aig.inputs) if record["inputs"][lit]
+        )
+        progress = sum(
+            (1 << i)
+            for i, latch in enumerate(aig.latches)
+            if record["latches"][latch.lit]
+        )
+        bad = record["bads"][0]
+        print(
+            f"  cycle {step}: entered symbol={symbol}  progress counter={progress}  "
+            f"unlocked={'YES' if bad else 'no'}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's full evaluation (Tables 1-2, Figures 2-4).
+
+Runs the six configuration stand-ins (RIC3, RIC3-pl, IC3ref, IC3ref-pl,
+IC3ref-CAV23, ABC-PDR) over the synthetic benchmark suite under a per-case
+time limit and prints the reproduced tables and figure summaries.  The
+output of this script (with the default arguments) is what EXPERIMENTS.md
+records.
+
+Run with::
+
+    python examples/reproduce_paper.py --timeout 5          # full suite (a few minutes)
+    python examples/reproduce_paper.py --quick --timeout 10  # smoke-test subset
+"""
+
+import argparse
+import sys
+
+from repro.benchgen import default_suite, quick_suite
+from repro.harness import run_paper_evaluation
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--timeout", type=float, default=5.0, help="per-case time limit (s)")
+    parser.add_argument("--quick", action="store_true", help="use the small smoke-test suite")
+    parser.add_argument("--validate", action="store_true", help="validate every certificate/trace")
+    parser.add_argument("--verbose", action="store_true", help="print per-case progress")
+    parser.add_argument("--csv", type=str, default=None, help="also write Table 1 as CSV to this path")
+    args = parser.parse_args(argv)
+
+    cases = quick_suite() if args.quick else default_suite()
+    print(f"Running {len(cases)} cases x 6 configurations, timeout {args.timeout:.1f}s per case ...")
+    report = run_paper_evaluation(
+        cases=cases,
+        timeout=args.timeout,
+        validate=args.validate,
+        verbose=args.verbose,
+    )
+    print()
+    print(report.to_text())
+
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(report.table1.to_csv() + "\n")
+        print(f"\nTable 1 written to {args.csv}")
+
+    wrong = report.suite_result.incorrect_results()
+    if wrong:
+        print(f"\nERROR: {len(wrong)} results contradict the ground truth:")
+        for result in wrong:
+            print(f"  {result.config_name} on {result.case_name}: {result.result.value}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

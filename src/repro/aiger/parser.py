@@ -1,0 +1,226 @@
+"""AIGER readers for the ASCII (``.aag``) and binary (``.aig``) formats.
+
+The parser follows the AIGER 1.9 specification closely enough to read
+HWMCC-style files: the MILOA header with optional B/C extensions, latch
+reset values, the delta-encoded binary AND section, symbol tables and
+comments.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.aiger.aig import AIG, AigerError, Latch, AndGate
+
+
+def read_aiger(path: Union[str, Path]) -> AIG:
+    """Read an AIGER file; the format is chosen by the header magic."""
+    data = Path(path).read_bytes()
+    return parse_aiger(data)
+
+
+def parse_aiger(data: Union[str, bytes]) -> AIG:
+    """Parse AIGER content given as text or bytes."""
+    if isinstance(data, str):
+        data = data.encode("ascii")
+    if data.startswith(b"aag"):
+        return _parse_ascii(data.decode("ascii"))
+    if data.startswith(b"aig"):
+        return _parse_binary(data)
+    raise AigerError("not an AIGER document (missing 'aag'/'aig' magic)")
+
+
+# ----------------------------------------------------------------------
+# ASCII format
+# ----------------------------------------------------------------------
+def _parse_header(line: str) -> Tuple[str, List[int]]:
+    parts = line.split()
+    if not parts or parts[0] not in ("aag", "aig"):
+        raise AigerError(f"malformed AIGER header: {line!r}")
+    if len(parts) < 6:
+        raise AigerError(f"AIGER header needs at least M I L O A: {line!r}")
+    try:
+        numbers = [int(p) for p in parts[1:]]
+    except ValueError as exc:
+        raise AigerError(f"non-numeric AIGER header field in {line!r}") from exc
+    if any(n < 0 for n in numbers):
+        raise AigerError(f"negative AIGER header field in {line!r}")
+    return parts[0], numbers
+
+
+def _parse_ascii(text: str) -> AIG:
+    lines = text.splitlines()
+    if not lines:
+        raise AigerError("empty AIGER document")
+    magic, header = _parse_header(lines[0])
+    if magic != "aag":
+        raise AigerError("ASCII parser invoked on binary content")
+    max_var, num_inputs, num_latches, num_outputs, num_ands = header[:5]
+    num_bads = header[5] if len(header) > 5 else 0
+    num_constraints = header[6] if len(header) > 6 else 0
+
+    aig = AIG()
+    aig._max_var = max_var  # variables are allocated by the file itself
+
+    cursor = 1
+
+    def next_line() -> str:
+        nonlocal cursor
+        if cursor >= len(lines):
+            raise AigerError("unexpected end of AIGER document")
+        line = lines[cursor]
+        cursor += 1
+        return line
+
+    for _ in range(num_inputs):
+        lit = int(next_line().split()[0])
+        if lit & 1 or lit == 0:
+            raise AigerError(f"invalid input literal {lit}")
+        aig.inputs.append(lit)
+
+    for _ in range(num_latches):
+        fields = next_line().split()
+        if len(fields) < 2:
+            raise AigerError(f"malformed latch line: {fields!r}")
+        lit = int(fields[0])
+        nxt = int(fields[1])
+        init: Optional[int] = 0
+        if len(fields) >= 3:
+            raw = int(fields[2])
+            if raw == lit:
+                init = None
+            elif raw in (0, 1):
+                init = raw
+            else:
+                raise AigerError(f"invalid latch reset value {raw}")
+        latch = Latch(lit=lit, next=nxt, init=init)
+        aig.latches.append(latch)
+        aig._latch_by_lit[lit] = latch
+
+    for _ in range(num_outputs):
+        aig.outputs.append(int(next_line().split()[0]))
+    for _ in range(num_bads):
+        aig.bads.append(int(next_line().split()[0]))
+    for _ in range(num_constraints):
+        aig.constraints.append(int(next_line().split()[0]))
+
+    for _ in range(num_ands):
+        fields = next_line().split()
+        if len(fields) < 3:
+            raise AigerError(f"malformed AND line: {fields!r}")
+        lhs, rhs0, rhs1 = int(fields[0]), int(fields[1]), int(fields[2])
+        aig.ands.append(AndGate(lhs=lhs, rhs0=rhs0, rhs1=rhs1))
+
+    _parse_symbols_and_comment(aig, lines[cursor:])
+    return aig
+
+
+def _parse_symbols_and_comment(aig: AIG, lines: List[str]) -> None:
+    comment_lines: List[str] = []
+    in_comment = False
+    for line in lines:
+        if in_comment:
+            comment_lines.append(line)
+            continue
+        if line.startswith("c"):
+            in_comment = True
+            continue
+        if not line.strip():
+            continue
+        kind = line[0]
+        if kind not in "ilob":
+            continue
+        try:
+            index_str, name = line[1:].split(" ", 1)
+            index = int(index_str)
+        except ValueError:
+            continue
+        if kind == "i" and index < len(aig.inputs):
+            aig._input_names[aig.inputs[index]] = name
+        elif kind == "l" and index < len(aig.latches):
+            aig.latches[index].name = name
+    if comment_lines:
+        aig.comment = "\n".join(comment_lines)
+
+
+# ----------------------------------------------------------------------
+# Binary format
+# ----------------------------------------------------------------------
+def _parse_binary(data: bytes) -> AIG:
+    newline = data.index(b"\n")
+    magic, header = _parse_header(data[:newline].decode("ascii"))
+    if magic != "aig":
+        raise AigerError("binary parser invoked on ASCII content")
+    max_var, num_inputs, num_latches, num_outputs, num_ands = header[:5]
+    num_bads = header[5] if len(header) > 5 else 0
+    num_constraints = header[6] if len(header) > 6 else 0
+
+    aig = AIG()
+    aig._max_var = max_var
+    # In the binary format literals are implicit: inputs are 2..2I,
+    # latches are 2(I+1)..2(I+L).
+    aig.inputs = [2 * (i + 1) for i in range(num_inputs)]
+
+    cursor = newline + 1
+    text_until_ands, cursor = _read_text_section(
+        data, cursor, num_latches + num_outputs + num_bads + num_constraints
+    )
+    line_iter = iter(text_until_ands)
+
+    for index in range(num_latches):
+        fields = next(line_iter).split()
+        lit = 2 * (num_inputs + index + 1)
+        nxt = int(fields[0])
+        init: Optional[int] = 0
+        if len(fields) >= 2:
+            raw = int(fields[1])
+            init = None if raw == lit else raw
+        latch = Latch(lit=lit, next=nxt, init=init)
+        aig.latches.append(latch)
+        aig._latch_by_lit[lit] = latch
+    for _ in range(num_outputs):
+        aig.outputs.append(int(next(line_iter).split()[0]))
+    for _ in range(num_bads):
+        aig.bads.append(int(next(line_iter).split()[0]))
+    for _ in range(num_constraints):
+        aig.constraints.append(int(next(line_iter).split()[0]))
+
+    # Delta-encoded AND gates.
+    for index in range(num_ands):
+        lhs = 2 * (num_inputs + num_latches + index + 1)
+        delta0, cursor = _decode_number(data, cursor)
+        delta1, cursor = _decode_number(data, cursor)
+        rhs0 = lhs - delta0
+        rhs1 = rhs0 - delta1
+        if rhs0 < 0 or rhs1 < 0:
+            raise AigerError(f"binary AND gate {lhs} decodes to negative literal")
+        aig.ands.append(AndGate(lhs=lhs, rhs0=rhs0, rhs1=rhs1))
+
+    remainder = data[cursor:].decode("ascii", errors="replace").splitlines()
+    _parse_symbols_and_comment(aig, remainder)
+    return aig
+
+
+def _read_text_section(data: bytes, cursor: int, num_lines: int) -> Tuple[List[str], int]:
+    lines: List[str] = []
+    for _ in range(num_lines):
+        end = data.index(b"\n", cursor)
+        lines.append(data[cursor:end].decode("ascii"))
+        cursor = end + 1
+    return lines, cursor
+
+
+def _decode_number(data: bytes, cursor: int) -> Tuple[int, int]:
+    """Decode one LEB128-style number of the binary AND section."""
+    value = 0
+    shift = 0
+    while True:
+        if cursor >= len(data):
+            raise AigerError("truncated binary AND section")
+        byte = data[cursor]
+        cursor += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, cursor
+        shift += 7

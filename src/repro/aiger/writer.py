@@ -1,0 +1,150 @@
+"""AIGER writers for the ASCII (``.aag``) and binary (``.aig``) formats.
+
+Binary writing requires every AND gate to satisfy ``lhs > rhs0 >= rhs1``
+and inputs/latches/ANDs to occupy consecutive variable ranges; AIGs built
+with :class:`~repro.aiger.aig.AIG` satisfy the ordering but not necessarily
+the variable-range layout, so the binary writer first re-encodes the graph
+(the ASCII writer emits literals verbatim).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.aiger.aig import AIG, AigerError, FALSE_LIT
+
+
+def to_aag_string(aig: AIG) -> str:
+    """Render an AIG in the ASCII AIGER format."""
+    header_counts = [
+        aig.max_var,
+        aig.num_inputs,
+        aig.num_latches,
+        len(aig.outputs),
+        aig.num_ands,
+    ]
+    has_extensions = bool(aig.bads or aig.constraints)
+    if has_extensions:
+        header_counts.append(len(aig.bads))
+        if aig.constraints:
+            header_counts.append(len(aig.constraints))
+    lines = ["aag " + " ".join(str(n) for n in header_counts)]
+    for lit in aig.inputs:
+        lines.append(str(lit))
+    for latch in aig.latches:
+        if latch.init is None:
+            lines.append(f"{latch.lit} {latch.next} {latch.lit}")
+        elif latch.init == 1:
+            lines.append(f"{latch.lit} {latch.next} 1")
+        else:
+            lines.append(f"{latch.lit} {latch.next}")
+    for lit in aig.outputs:
+        lines.append(str(lit))
+    for lit in aig.bads:
+        lines.append(str(lit))
+    for lit in aig.constraints:
+        lines.append(str(lit))
+    for gate in aig.ands:
+        lines.append(f"{gate.lhs} {gate.rhs0} {gate.rhs1}")
+    for index, lit in enumerate(aig.inputs):
+        name = aig.input_name(lit)
+        if name:
+            lines.append(f"i{index} {name}")
+    for index, latch in enumerate(aig.latches):
+        if latch.name:
+            lines.append(f"l{index} {latch.name}")
+    if aig.comment:
+        lines.append("c")
+        lines.append(aig.comment)
+    return "\n".join(lines) + "\n"
+
+
+def write_aag(aig: AIG, path: Union[str, Path]) -> None:
+    """Write an AIG to an ASCII ``.aag`` file."""
+    Path(path).write_text(to_aag_string(aig))
+
+
+def write_aig(aig: AIG, path: Union[str, Path]) -> None:
+    """Write an AIG to a binary ``.aig`` file."""
+    Path(path).write_bytes(to_aig_bytes(aig))
+
+
+def to_aig_bytes(aig: AIG) -> bytes:
+    """Render an AIG in the binary AIGER format."""
+    remap = _build_remap(aig)
+
+    def map_lit(lit: int) -> int:
+        return remap[lit & ~1] | (lit & 1)
+
+    num_inputs = aig.num_inputs
+    num_latches = aig.num_latches
+    num_ands = aig.num_ands
+    max_var = num_inputs + num_latches + num_ands
+
+    header = [max_var, num_inputs, num_latches, len(aig.outputs), num_ands]
+    if aig.bads or aig.constraints:
+        header.append(len(aig.bads))
+        if aig.constraints:
+            header.append(len(aig.constraints))
+    parts: List[bytes] = ["aig {}\n".format(" ".join(str(n) for n in header)).encode()]
+
+    for latch in aig.latches:
+        line = str(map_lit(latch.next))
+        if latch.init is None:
+            line += f" {map_lit(latch.lit)}"
+        elif latch.init == 1:
+            line += " 1"
+        parts.append((line + "\n").encode())
+    for lit in aig.outputs:
+        parts.append(f"{map_lit(lit)}\n".encode())
+    for lit in aig.bads:
+        parts.append(f"{map_lit(lit)}\n".encode())
+    for lit in aig.constraints:
+        parts.append(f"{map_lit(lit)}\n".encode())
+
+    for gate in aig.ands:
+        lhs = map_lit(gate.lhs)
+        rhs0 = map_lit(gate.rhs0)
+        rhs1 = map_lit(gate.rhs1)
+        if rhs0 < rhs1:
+            rhs0, rhs1 = rhs1, rhs0
+        if not lhs > rhs0 >= rhs1:
+            raise AigerError(
+                f"AND gate ({lhs}, {rhs0}, {rhs1}) violates binary AIGER ordering"
+            )
+        parts.append(_encode_number(lhs - rhs0))
+        parts.append(_encode_number(rhs0 - rhs1))
+
+    if aig.comment:
+        parts.append(b"c\n")
+        parts.append(aig.comment.encode() + b"\n")
+    return b"".join(parts)
+
+
+def _build_remap(aig: AIG) -> Dict[int, int]:
+    """Map original positive literals to the dense binary-format layout."""
+    remap: Dict[int, int] = {FALSE_LIT: FALSE_LIT}
+    next_var = 1
+    for lit in aig.inputs:
+        remap[lit] = 2 * next_var
+        next_var += 1
+    for latch in aig.latches:
+        remap[latch.lit] = 2 * next_var
+        next_var += 1
+    for gate in aig.ands:
+        remap[gate.lhs] = 2 * next_var
+        next_var += 1
+    return remap
+
+
+def _encode_number(value: int) -> bytes:
+    """Encode a non-negative integer in the AIGER LEB128 variant."""
+    if value < 0:
+        raise AigerError(f"cannot encode negative delta {value}")
+    out = bytearray()
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+    return bytes(out)

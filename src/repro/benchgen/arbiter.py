@@ -1,0 +1,58 @@
+"""Round-robin arbiter benchmark.
+
+A one-hot priority token rotates among ``size`` clients; a client's grant
+is registered when it requests while holding the token.  Mutual exclusion
+of grants is the safety property — its proof needs the one-hot invariant
+over the token latches, which IC3 learns as a collection of pairwise
+lemmas (rich parent-lemma structure across frames).
+"""
+
+from __future__ import annotations
+
+from repro.aiger.aig import AIG, FALSE_LIT
+from repro.benchgen.case import BenchmarkCase
+from repro.core.result import CheckResult
+
+
+def round_robin_arbiter(size: int, safe: bool = True) -> BenchmarkCase:
+    """Round-robin arbiter with ``size`` request/grant pairs.
+
+    SAFE variant: ``grant[i]`` is registered from ``req[i] & token[i]``, so
+    two grants can never coexist.  UNSAFE variant: client 0's grant ignores
+    the token (a classic priority bug), so two grants appear whenever client
+    0 and the token holder request in the same cycle.
+    """
+    if size < 2:
+        raise ValueError("size must be at least 2")
+    aig = AIG(comment=f"round robin arbiter size={size} safe={safe}")
+    requests = [aig.add_input(f"req{i}") for i in range(size)]
+    token = [
+        aig.add_latch(init=1 if i == 0 else 0, name=f"token{i}") for i in range(size)
+    ]
+    grants = [aig.add_latch(init=0, name=f"grant{i}") for i in range(size)]
+
+    # The token advances every cycle.
+    for index, stage in enumerate(token):
+        aig.set_latch_next(stage, token[(index - 1) % size])
+
+    for index, grant in enumerate(grants):
+        if index == 0 and not safe:
+            allowed = requests[index]  # bug: ignores the token
+        else:
+            allowed = aig.add_and(requests[index], token[index])
+        aig.set_latch_next(grant, allowed)
+
+    collision = FALSE_LIT
+    for i in range(size):
+        for j in range(i + 1, size):
+            collision = aig.or_gate(collision, aig.add_and(grants[i], grants[j]))
+    aig.add_bad(collision)
+
+    return BenchmarkCase(
+        name=f"arb_n{size}_{'safe' if safe else 'unsafe'}",
+        aig=aig,
+        expected=CheckResult.SAFE if safe else CheckResult.UNSAFE,
+        family="arbiter",
+        params={"size": size, "safe": safe},
+        expected_depth=None if safe else 2,
+    )

@@ -1,0 +1,184 @@
+"""Counter-style benchmark circuits.
+
+These are the bread-and-butter instances of hardware model checking:
+binary counters with resets, saturating counters and counters with
+redundant bookkeeping (parity), in safe and deliberately buggy (unsafe)
+variants.  Safe variants need IC3 to discover range/parity invariants;
+unsafe variants have counterexamples whose depth grows with the width,
+which exercises the blocking phase.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.aiger.aig import AIG, FALSE_LIT, TRUE_LIT
+from repro.benchgen.case import BenchmarkCase
+from repro.core.result import CheckResult
+
+
+def _counter_word(aig: AIG, width: int, name: str = "cnt") -> List[int]:
+    """Allocate ``width`` latch bits (LSB first), all reset to 0."""
+    return [aig.add_latch(init=0, name=f"{name}{i}") for i in range(width)]
+
+
+def modular_counter(width: int, modulus: int, bad_value: int) -> BenchmarkCase:
+    """A counter that counts 0, 1, ..., modulus-1, 0, ... every cycle.
+
+    ``bad_value`` determines the verdict: values below the modulus are
+    reached (UNSAFE, shortest counterexample has ``bad_value`` steps),
+    values at or above it are unreachable (SAFE).
+    """
+    if width < 1:
+        raise ValueError("width must be at least 1")
+    if not 0 < modulus <= (1 << width):
+        raise ValueError("modulus must be in 1..2^width")
+    if not 0 <= bad_value < (1 << width):
+        raise ValueError("bad_value must fit in the counter width")
+
+    aig = AIG(comment=f"modular counter width={width} modulus={modulus} bad={bad_value}")
+    bits = _counter_word(aig, width)
+    incremented = aig.increment(bits)
+    wrap = aig.equal_const(bits, modulus - 1)
+    for bit, inc in zip(bits, incremented):
+        aig.set_latch_next(bit, aig.mux(wrap, FALSE_LIT, inc))
+    aig.add_bad(aig.equal_const(bits, bad_value))
+
+    unsafe = bad_value < modulus
+    return BenchmarkCase(
+        name=f"modcnt_w{width}_m{modulus}_b{bad_value}",
+        aig=aig,
+        expected=CheckResult.UNSAFE if unsafe else CheckResult.SAFE,
+        family="counter",
+        params={"width": width, "modulus": modulus, "bad_value": bad_value},
+        expected_depth=bad_value if unsafe else None,
+    )
+
+
+def counter_overflow(width: int, safe: bool = True) -> BenchmarkCase:
+    """A free-running counter with an enable input and an overflow flag.
+
+    The counter increments only when ``enable`` is high.  The SAFE variant
+    stops at its maximum value (saturates), so the overflow flag can never
+    rise; the UNSAFE variant wraps around and raises the flag on the wrap,
+    reachable in ``2^width`` enabled steps.
+    """
+    if width < 1:
+        raise ValueError("width must be at least 1")
+    aig = AIG(comment=f"counter overflow width={width} safe={safe}")
+    enable = aig.add_input("enable")
+    bits = _counter_word(aig, width)
+    overflow = aig.add_latch(init=0, name="overflow")
+
+    at_max = aig.equal_const(bits, (1 << width) - 1)
+    incremented = aig.increment(bits)
+    for bit, inc in zip(bits, incremented):
+        if safe:
+            # Saturate: hold the value once every bit is 1.
+            hold = aig.mux(at_max, bit, inc)
+        else:
+            hold = inc
+        aig.set_latch_next(bit, aig.mux(enable, hold, bit))
+    wrap_event = aig.add_and(enable, at_max)
+    aig.set_latch_next(overflow, aig.or_gate(overflow, FALSE_LIT if safe else wrap_event))
+    aig.add_bad(overflow)
+
+    return BenchmarkCase(
+        name=f"ovf_w{width}_{'safe' if safe else 'unsafe'}",
+        aig=aig,
+        expected=CheckResult.SAFE if safe else CheckResult.UNSAFE,
+        family="counter",
+        params={"width": width, "safe": safe},
+        expected_depth=None if safe else (1 << width),
+    )
+
+
+def parity_counter(width: int, safe: bool = True) -> BenchmarkCase:
+    """A counter with a redundant parity latch.
+
+    The parity latch tracks the XOR of the counter bits; the property says
+    they never disagree.  The SAFE variant updates the parity correctly
+    (the invariant is inductive); the UNSAFE variant omits the update on a
+    carry out of the low bit, so the latches drift apart after two steps.
+    """
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    aig = AIG(comment=f"parity counter width={width} safe={safe}")
+    bits = _counter_word(aig, width)
+    parity = aig.add_latch(init=0, name="parity")
+
+    incremented = aig.increment(bits)
+    for bit, inc in zip(bits, incremented):
+        aig.set_latch_next(bit, inc)
+
+    if safe:
+        next_parity = FALSE_LIT
+        for inc in incremented:
+            next_parity = aig.xor_gate(next_parity, inc)
+    else:
+        # Buggy: assume only the LSB toggles, i.e. parity simply flips.
+        next_parity = aig.negate(parity)
+    aig.set_latch_next(parity, next_parity)
+
+    actual_parity = FALSE_LIT
+    for bit in bits:
+        actual_parity = aig.xor_gate(actual_parity, bit)
+    aig.add_bad(aig.xor_gate(parity, actual_parity))
+
+    return BenchmarkCase(
+        name=f"parity_w{width}_{'safe' if safe else 'unsafe'}",
+        aig=aig,
+        expected=CheckResult.SAFE if safe else CheckResult.UNSAFE,
+        family="counter",
+        params={"width": width, "safe": safe},
+        expected_depth=None if safe else 2,
+    )
+
+
+def saturating_counter(width: int, limit: int, bad_value: int) -> BenchmarkCase:
+    """A saturating up/down counter that never exceeds ``limit``.
+
+    ``up``/``down`` inputs move the counter, which saturates at 0 and at
+    ``limit`` (< 2^width).  The bad condition checks ``counter == bad_value``:
+    values above the limit are unreachable (SAFE, IC3 must discover the
+    range invariant); values within 0..limit are reachable (UNSAFE, with a
+    shortest counterexample of ``bad_value`` up-steps).
+    """
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    cap = (1 << width) - 1
+    if not 0 < limit <= cap:
+        raise ValueError("limit must be in 1..2^width-1")
+    if not 0 <= bad_value <= cap:
+        raise ValueError("bad_value must fit in the counter width")
+    aig = AIG(comment=f"saturating counter width={width} limit={limit}")
+    up = aig.add_input("up")
+    down = aig.add_input("down")
+    bits = _counter_word(aig, width)
+
+    at_limit = aig.equal_const(bits, limit)
+    at_min = aig.equal_const(bits, 0)
+    incremented = aig.increment(bits)
+    ones = [TRUE_LIT] * width
+    decremented = aig.adder(bits, ones)  # adding all-ones is subtracting 1 (mod 2^w)
+
+    do_up = aig.add_and(up, aig.negate(down))
+    do_up = aig.add_and(do_up, aig.negate(at_limit))
+    do_down = aig.add_and(down, aig.negate(up))
+    do_down = aig.add_and(do_down, aig.negate(at_min))
+
+    for bit, inc, dec in zip(bits, incremented, decremented):
+        next_bit = aig.mux(do_up, inc, aig.mux(do_down, dec, bit))
+        aig.set_latch_next(bit, next_bit)
+
+    aig.add_bad(aig.equal_const(bits, bad_value))
+
+    unsafe = bad_value <= limit
+    return BenchmarkCase(
+        name=f"satcnt_w{width}_l{limit}_b{bad_value}",
+        aig=aig,
+        expected=CheckResult.UNSAFE if unsafe else CheckResult.SAFE,
+        family="counter",
+        params={"width": width, "limit": limit, "bad_value": bad_value},
+        expected_depth=bad_value if unsafe else None,
+    )

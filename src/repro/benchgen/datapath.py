@@ -1,0 +1,127 @@
+"""Datapath-consistency benchmark circuits.
+
+Two families that mimic classic equivalence/consistency obligations from
+RTL verification:
+
+* :func:`gray_counter` — a binary counter and a registered Gray-code copy
+  of it; the property is that the Gray register always equals
+  ``binary ^ (binary >> 1)``.
+* :func:`lockstep_counters` — two independently implemented counters (a
+  ripple increment and a wrap-around mux tree) that must stay equal
+  forever, i.e. a tiny sequential equivalence-checking problem.
+
+Both have inductive invariants that relate several latches at once, which
+produces longer lemmas than the one-hot/range families and therefore a
+different prediction profile.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.aiger.aig import AIG, FALSE_LIT
+from repro.benchgen.case import BenchmarkCase
+from repro.core.result import CheckResult
+
+
+def gray_counter(width: int, safe: bool = True) -> BenchmarkCase:
+    """Binary counter plus a registered Gray-code shadow.
+
+    The shadow register is loaded every cycle with the Gray encoding of the
+    *next* binary value, so "shadow == gray(binary)" is an inductive
+    invariant.  The UNSAFE variant omits the XOR with the top bit when
+    loading the shadow, so the two registers diverge as soon as the counter
+    reaches the value with that bit set (depth ``2^(width-1)``).
+    """
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    aig = AIG(comment=f"gray counter width={width} safe={safe}")
+    binary = [aig.add_latch(init=0, name=f"bin{i}") for i in range(width)]
+    gray = [aig.add_latch(init=0, name=f"gray{i}") for i in range(width)]
+
+    next_binary = aig.increment(binary)
+    for latch, value in zip(binary, next_binary):
+        aig.set_latch_next(latch, value)
+
+    # gray(next) = next ^ (next >> 1); the MSB of the Gray code is the MSB
+    # of the binary value itself.
+    for index in range(width):
+        if index == width - 1:
+            next_gray = next_binary[index]
+        else:
+            next_gray = aig.xor_gate(next_binary[index], next_binary[index + 1])
+            if not safe and index == width - 2:
+                # Bug: forget the XOR with the top bit for this position.
+                next_gray = next_binary[index]
+        aig.set_latch_next(gray[index], next_gray)
+
+    mismatch = FALSE_LIT
+    for index in range(width):
+        if index == width - 1:
+            expected = binary[index]
+        else:
+            expected = aig.xor_gate(binary[index], binary[index + 1])
+        mismatch = aig.or_gate(mismatch, aig.xor_gate(gray[index], expected))
+    aig.add_bad(mismatch)
+
+    return BenchmarkCase(
+        name=f"gray_w{width}_{'safe' if safe else 'unsafe'}",
+        aig=aig,
+        expected=CheckResult.SAFE if safe else CheckResult.UNSAFE,
+        family="gray",
+        params={"width": width, "safe": safe},
+        expected_depth=None if safe else (1 << (width - 1)),
+    )
+
+
+def lockstep_counters(width: int, safe: bool = True) -> BenchmarkCase:
+    """Two differently implemented counters that must stay equal.
+
+    Counter A uses the ripple-carry incrementer; counter B recomputes each
+    bit as ``bit XOR carry`` with an explicitly built carry chain.  Both
+    wrap at the same modulus, so "A == B" is inductive.  The UNSAFE variant
+    makes counter B skip the wrap (it keeps counting past the modulus), so
+    the counters disagree one step after the wrap point.
+    """
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    modulus = (1 << width) - 1  # wrap one step early so the wrap logic matters
+    aig = AIG(comment=f"lockstep counters width={width} safe={safe}")
+    counter_a = [aig.add_latch(init=0, name=f"a{i}") for i in range(width)]
+    counter_b = [aig.add_latch(init=0, name=f"b{i}") for i in range(width)]
+
+    # Counter A: increment, wrap at `modulus - 1`.
+    wrap_a = aig.equal_const(counter_a, modulus - 1)
+    incremented_a = aig.increment(counter_a)
+    for latch, inc in zip(counter_a, incremented_a):
+        aig.set_latch_next(latch, aig.mux(wrap_a, FALSE_LIT, inc))
+
+    # Counter B: explicit carry chain, same wrap (unless buggy).
+    carry = None
+    next_b: List[int] = []
+    for index, bit in enumerate(counter_b):
+        if carry is None:
+            next_b.append(aig.negate(bit))
+            carry = bit
+        else:
+            next_b.append(aig.xor_gate(bit, carry))
+            carry = aig.add_and(bit, carry)
+    if safe:
+        wrap_b = aig.equal_const(counter_b, modulus - 1)
+        next_b = [aig.mux(wrap_b, FALSE_LIT, value) for value in next_b]
+    for latch, value in zip(counter_b, next_b):
+        aig.set_latch_next(latch, value)
+
+    mismatch = FALSE_LIT
+    for a_bit, b_bit in zip(counter_a, counter_b):
+        mismatch = aig.or_gate(mismatch, aig.xor_gate(a_bit, b_bit))
+    aig.add_bad(mismatch)
+
+    return BenchmarkCase(
+        name=f"lockstep_w{width}_{'safe' if safe else 'unsafe'}",
+        aig=aig,
+        expected=CheckResult.SAFE if safe else CheckResult.UNSAFE,
+        family="lockstep",
+        params={"width": width, "modulus": modulus, "safe": safe},
+        expected_depth=None if safe else modulus,
+    )

@@ -1,0 +1,56 @@
+"""FIFO-controller benchmark.
+
+The occupancy counter of a FIFO with capacity ``2^(width-1)`` is tracked in
+``width`` bits.  Push/pop inputs move the counter, guarded by full/empty
+flags.  The property is "the FIFO never overflows" — the counter stays at
+or below the capacity.  The buggy variant drops the full check on pushes,
+so the counter can climb past the capacity in ``capacity + 1`` pushes.
+"""
+
+from __future__ import annotations
+
+from repro.aiger.aig import AIG, FALSE_LIT, TRUE_LIT
+from repro.benchgen.case import BenchmarkCase
+from repro.core.result import CheckResult
+
+
+def fifo_controller(width: int, safe: bool = True) -> BenchmarkCase:
+    """FIFO occupancy controller with ``width``-bit counter (capacity 2^(width-1))."""
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    capacity = 1 << (width - 1)
+    aig = AIG(comment=f"fifo controller width={width} capacity={capacity} safe={safe}")
+    push = aig.add_input("push")
+    pop = aig.add_input("pop")
+    count = [aig.add_latch(init=0, name=f"count{i}") for i in range(width)]
+
+    full = aig.equal_const(count, capacity)
+    empty = aig.equal_const(count, 0)
+
+    do_push = aig.add_and(push, aig.negate(pop))
+    if safe:
+        do_push = aig.add_and(do_push, aig.negate(full))
+    do_pop = aig.add_and(pop, aig.negate(push))
+    do_pop = aig.add_and(do_pop, aig.negate(empty))
+
+    incremented = aig.increment(count)
+    ones = [TRUE_LIT] * width
+    decremented = aig.adder(count, ones)  # minus one, modulo 2^width
+
+    for bit, inc, dec in zip(count, incremented, decremented):
+        aig.set_latch_next(bit, aig.mux(do_push, inc, aig.mux(do_pop, dec, bit)))
+
+    # Overflow: occupancy strictly greater than the capacity.
+    overflow = FALSE_LIT
+    for value in range(capacity + 1, 1 << width):
+        overflow = aig.or_gate(overflow, aig.equal_const(count, value))
+    aig.add_bad(overflow)
+
+    return BenchmarkCase(
+        name=f"fifo_w{width}_{'safe' if safe else 'unsafe'}",
+        aig=aig,
+        expected=CheckResult.SAFE if safe else CheckResult.UNSAFE,
+        family="fifo",
+        params={"width": width, "capacity": capacity, "safe": safe},
+        expected_depth=None if safe else capacity + 1,
+    )

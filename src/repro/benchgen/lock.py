@@ -1,0 +1,82 @@
+"""Combination-lock benchmark.
+
+The lock opens only after a specific sequence of input symbols is entered;
+any wrong symbol resets the progress counter.  The "unlocked" state is
+reachable (UNSAFE) with a shortest counterexample as long as the code,
+which makes these instances easy for BMC and progressively harder for
+IC3's backward search — a classic evaluation family for bug finding.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.aiger.aig import AIG, FALSE_LIT
+from repro.benchgen.case import BenchmarkCase
+from repro.core.result import CheckResult
+
+
+def combination_lock(code: Sequence[int], symbol_bits: int = 2, safe: bool = False) -> BenchmarkCase:
+    """A lock guarded by the input sequence ``code`` (each symbol < 2^symbol_bits).
+
+    The UNSAFE (default) variant's bad state is "unlocked", reachable in
+    ``len(code)`` steps by entering the code.  The SAFE variant additionally
+    requires a progress value beyond the last stage, which the reset logic
+    makes unreachable.
+    """
+    if not code:
+        raise ValueError("code must not be empty")
+    if any(symbol >= (1 << symbol_bits) or symbol < 0 for symbol in code):
+        raise ValueError("code symbols must fit in symbol_bits")
+
+    stages = len(code)
+    stage_bits = max(1, (stages + 1).bit_length())
+    aig = AIG(comment=f"combination lock code={list(code)} safe={safe}")
+    symbol_in = [aig.add_input(f"sym{i}") for i in range(symbol_bits)]
+    progress = [aig.add_latch(init=0, name=f"prog{i}") for i in range(stage_bits)]
+
+    next_progress_candidates: List[int] = []
+    # progress == s and input == code[s]  -->  progress' = s + 1, else 0.
+    advance_any = FALSE_LIT
+    next_value_bits = [FALSE_LIT] * stage_bits
+    for stage, symbol in enumerate(code):
+        at_stage = aig.equal_const(progress, stage)
+        symbol_match = aig.equal_const(symbol_in, symbol)
+        advance = aig.add_and(at_stage, symbol_match)
+        advance_any = aig.or_gate(advance_any, advance)
+        target = stage + 1
+        for bit_index in range(stage_bits):
+            if (target >> bit_index) & 1:
+                next_value_bits[bit_index] = aig.or_gate(
+                    next_value_bits[bit_index], advance
+                )
+    # Once fully unlocked, stay unlocked.
+    unlocked = aig.equal_const(progress, stages)
+    for bit_index in range(stage_bits):
+        if (stages >> bit_index) & 1:
+            next_value_bits[bit_index] = aig.or_gate(next_value_bits[bit_index], unlocked)
+
+    for latch, value in zip(progress, next_value_bits):
+        aig.set_latch_next(latch, value)
+
+    if safe:
+        # Progress values beyond `stages` are unreachable by construction.
+        bad = FALSE_LIT
+        for value in range(stages + 1, 1 << stage_bits):
+            bad = aig.or_gate(bad, aig.equal_const(progress, value))
+        expected = CheckResult.SAFE
+        depth = None
+    else:
+        bad = unlocked
+        expected = CheckResult.UNSAFE
+        depth = stages
+    aig.add_bad(bad)
+
+    return BenchmarkCase(
+        name=f"lock_k{stages}_b{symbol_bits}_{'safe' if safe else 'unsafe'}",
+        aig=aig,
+        expected=expected,
+        family="lock",
+        params={"code": list(code), "symbol_bits": symbol_bits, "safe": safe},
+        expected_depth=depth,
+    )

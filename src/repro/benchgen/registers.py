@@ -1,0 +1,195 @@
+"""Shift-register-style benchmark circuits: token rings, Johnson counters,
+LFSRs and tagged pipelines.
+
+All of these have compact inductive invariants (one-hotness, valid code
+words, non-zero state) that IC3 has to discover clause by clause — a good
+source of parent-lemma/CTP interplay for the prediction mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.aiger.aig import AIG, FALSE_LIT, TRUE_LIT
+from repro.benchgen.case import BenchmarkCase
+from repro.core.result import CheckResult
+
+
+def token_ring(size: int, safe: bool = True) -> BenchmarkCase:
+    """A one-hot token circulating through ``size`` stages.
+
+    The property is mutual exclusion: no two stages hold the token at the
+    same time.  The SAFE variant simply rotates the token; the UNSAFE
+    variant has a ``dup`` input that copies the token into the next stage
+    without clearing the current one, so two tokens appear after one step.
+    """
+    if size < 2:
+        raise ValueError("size must be at least 2")
+    aig = AIG(comment=f"token ring size={size} safe={safe}")
+    dup = aig.add_input("dup") if not safe else None
+    stages = [
+        aig.add_latch(init=1 if i == 0 else 0, name=f"stage{i}") for i in range(size)
+    ]
+
+    for index, stage in enumerate(stages):
+        previous = stages[(index - 1) % size]
+        next_value = previous
+        if not safe:
+            # Duplication bug: a stage may also keep its token while passing it on.
+            next_value = aig.or_gate(previous, aig.add_and(dup, stage))
+        aig.set_latch_next(stage, next_value)
+
+    collision = FALSE_LIT
+    for i in range(size):
+        for j in range(i + 1, size):
+            collision = aig.or_gate(collision, aig.add_and(stages[i], stages[j]))
+    aig.add_bad(collision)
+
+    return BenchmarkCase(
+        name=f"ring_n{size}_{'safe' if safe else 'unsafe'}",
+        aig=aig,
+        expected=CheckResult.SAFE if safe else CheckResult.UNSAFE,
+        family="ring",
+        params={"size": size, "safe": safe},
+        expected_depth=None if safe else 1,
+    )
+
+
+def johnson_counter(width: int, safe: bool = True) -> BenchmarkCase:
+    """A Johnson (twisted-ring) counter.
+
+    Valid Johnson states are runs of ones followed by runs of zeros (and
+    their rotations through the inverted feedback), only ``2*width`` of the
+    ``2^width`` patterns.  The SAFE variant flags an invalid pattern with an
+    isolated one, which is unreachable; the UNSAFE variant flags a valid
+    pattern on the counter's orbit.
+    """
+    if width < 3:
+        raise ValueError("width must be at least 3")
+    aig = AIG(comment=f"johnson counter width={width} safe={safe}")
+    bits = [aig.add_latch(init=0, name=f"j{i}") for i in range(width)]
+
+    # Shift left by one; bit 0 receives the inverted last bit.
+    aig.set_latch_next(bits[0], aig.negate(bits[-1]))
+    for index in range(1, width):
+        aig.set_latch_next(bits[index], bits[index - 1])
+
+    if safe:
+        # 0101... alternating pattern is never a Johnson code word for width >= 3.
+        pattern = sum(1 << i for i in range(0, width, 2))
+        bad_value = pattern
+        expected = CheckResult.SAFE
+        depth: Optional[int] = None
+    else:
+        # The all-ones state is reached after exactly `width` steps.
+        bad_value = (1 << width) - 1
+        expected = CheckResult.UNSAFE
+        depth = width
+    aig.add_bad(aig.equal_const(bits, bad_value))
+
+    return BenchmarkCase(
+        name=f"johnson_w{width}_{'safe' if safe else 'unsafe'}",
+        aig=aig,
+        expected=expected,
+        family="johnson",
+        params={"width": width, "safe": safe, "bad_value": bad_value},
+        expected_depth=depth,
+    )
+
+
+def _simulate_lfsr(width: int, taps: Sequence[int], steps: int, seed: int = 1) -> int:
+    """Pure-Python reference model of the Fibonacci LFSR used below."""
+    state = seed
+    for _ in range(steps):
+        feedback = 0
+        for tap in taps:
+            feedback ^= (state >> tap) & 1
+        state = ((state << 1) | feedback) & ((1 << width) - 1)
+    return state
+
+
+_DEFAULT_TAPS = {
+    3: (2, 1),
+    4: (3, 2),
+    5: (4, 2),
+    6: (5, 4),
+    7: (6, 5),
+    8: (7, 5, 4, 3),
+}
+
+
+def lfsr(width: int, safe: bool = True, unsafe_depth: int = 6) -> BenchmarkCase:
+    """A Fibonacci LFSR seeded with 1.
+
+    SAFE variant: the all-zero state is unreachable from a non-zero seed
+    (the classic LFSR invariant).  UNSAFE variant: the bad value is the
+    state the reference model reaches after ``unsafe_depth`` steps.
+    """
+    if width not in _DEFAULT_TAPS:
+        raise ValueError(f"no tap table for width {width} (have {sorted(_DEFAULT_TAPS)})")
+    taps = _DEFAULT_TAPS[width]
+    aig = AIG(comment=f"lfsr width={width} taps={taps} safe={safe}")
+    bits = [aig.add_latch(init=1 if i == 0 else 0, name=f"x{i}") for i in range(width)]
+
+    feedback = FALSE_LIT
+    for tap in taps:
+        feedback = aig.xor_gate(feedback, bits[tap])
+    aig.set_latch_next(bits[0], feedback)
+    for index in range(1, width):
+        aig.set_latch_next(bits[index], bits[index - 1])
+
+    if safe:
+        bad_value = 0
+        expected = CheckResult.SAFE
+        depth: Optional[int] = None
+    else:
+        bad_value = _simulate_lfsr(width, taps, unsafe_depth)
+        expected = CheckResult.UNSAFE
+        depth = unsafe_depth
+    aig.add_bad(aig.equal_const(bits, bad_value))
+
+    return BenchmarkCase(
+        name=f"lfsr_w{width}_{'safe' if safe else f'unsafe_d{unsafe_depth}'}",
+        aig=aig,
+        expected=expected,
+        family="lfsr",
+        params={"width": width, "taps": taps, "safe": safe, "bad_value": bad_value},
+        expected_depth=depth,
+    )
+
+
+def pipeline_tag(stages: int, safe: bool = True) -> BenchmarkCase:
+    """A valid/tag pipeline: two parallel shift registers fed the same bit.
+
+    Every stage of the ``valid`` pipeline must equal the corresponding
+    stage of the ``tag`` pipeline (they are loaded identically).  The
+    UNSAFE variant forgets to load the tag pipeline's first stage from the
+    input and wires it to constant 0, so the pipelines diverge as soon as a
+    high input drains through.
+    """
+    if stages < 2:
+        raise ValueError("stages must be at least 2")
+    aig = AIG(comment=f"pipeline tag stages={stages} safe={safe}")
+    data_in = aig.add_input("in_valid")
+    valid = [aig.add_latch(init=0, name=f"valid{i}") for i in range(stages)]
+    tag = [aig.add_latch(init=0, name=f"tag{i}") for i in range(stages)]
+
+    aig.set_latch_next(valid[0], data_in)
+    aig.set_latch_next(tag[0], data_in if safe else FALSE_LIT)
+    for index in range(1, stages):
+        aig.set_latch_next(valid[index], valid[index - 1])
+        aig.set_latch_next(tag[index], tag[index - 1])
+
+    mismatch = FALSE_LIT
+    for v, t in zip(valid, tag):
+        mismatch = aig.or_gate(mismatch, aig.xor_gate(v, t))
+    aig.add_bad(mismatch)
+
+    return BenchmarkCase(
+        name=f"pipe_s{stages}_{'safe' if safe else 'unsafe'}",
+        aig=aig,
+        expected=CheckResult.SAFE if safe else CheckResult.UNSAFE,
+        family="pipeline",
+        params={"stages": stages, "safe": safe},
+        expected_depth=None if safe else 1,
+    )

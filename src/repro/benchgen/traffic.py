@@ -1,0 +1,84 @@
+"""Traffic-light controller benchmark.
+
+Two lights guard an intersection.  Each light walks through the phases
+red → green → yellow → red, driven by a request input, and an interlock
+latch gives the intersection to one direction at a time.  The property is
+that the two lights are never green together.  The buggy variant lets the
+second light start its green phase on a request regardless of the
+interlock, so a simultaneous-green state is reachable in a few steps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.aiger.aig import AIG, FALSE_LIT
+from repro.benchgen.case import BenchmarkCase
+from repro.core.result import CheckResult
+
+# Phase encoding (2 bits per light): 00 = red, 01 = green, 10 = yellow.
+_RED = 0
+_GREEN = 1
+_YELLOW = 2
+
+
+def _light(aig: AIG, name: str) -> List[int]:
+    return [aig.add_latch(init=0, name=f"{name}_phase{i}") for i in range(2)]
+
+
+def _phase_next(
+    aig: AIG, phase: List[int], start_green: int
+) -> Tuple[List[int], int, int]:
+    """Next-phase logic; returns (next bits, is_green, is_red)."""
+    is_red = aig.equal_const(phase, _RED)
+    is_green = aig.equal_const(phase, _GREEN)
+    is_yellow = aig.equal_const(phase, _YELLOW)
+
+    # red --start_green--> green --always--> yellow --always--> red
+    go_green = aig.add_and(is_red, start_green)
+    next_bit0 = go_green                      # green has bit0 set
+    next_bit1 = is_green                      # yellow has bit1 set
+    # When yellow (or red without a start), fall back to red (00): nothing to add.
+    next_phase = [next_bit0, next_bit1]
+    _ = is_yellow
+    return next_phase, is_green, is_red
+
+
+def traffic_light(safe: bool = True) -> BenchmarkCase:
+    """Two-way traffic-light controller (fixed size, 5 latches)."""
+    aig = AIG(comment=f"traffic light safe={safe}")
+    request_a = aig.add_input("req_a")
+    request_b = aig.add_input("req_b")
+
+    phase_a = _light(aig, "a")
+    phase_b = _light(aig, "b")
+    # The interlock: 0 = direction A owns the intersection, 1 = direction B.
+    turn = aig.add_latch(init=0, name="turn")
+
+    a_may_start = aig.add_and(request_a, aig.negate(turn))
+    if safe:
+        b_may_start = aig.add_and(request_b, turn)
+    else:
+        b_may_start = request_b  # bug: ignores the interlock
+
+    next_a, a_green, a_red = _phase_next(aig, phase_a, a_may_start)
+    next_b, b_green, b_red = _phase_next(aig, phase_b, b_may_start)
+    for latch, value in zip(phase_a, next_a):
+        aig.set_latch_next(latch, value)
+    for latch, value in zip(phase_b, next_b):
+        aig.set_latch_next(latch, value)
+
+    # Hand the intersection over only while both directions are red.
+    both_red = aig.add_and(a_red, b_red)
+    aig.set_latch_next(turn, aig.mux(both_red, aig.negate(turn), turn))
+
+    aig.add_bad(aig.add_and(a_green, b_green))
+
+    return BenchmarkCase(
+        name=f"traffic_{'safe' if safe else 'unsafe'}",
+        aig=aig,
+        expected=CheckResult.SAFE if safe else CheckResult.UNSAFE,
+        family="traffic",
+        params={"safe": safe},
+        expected_depth=None if safe else 1,
+    )

@@ -1,0 +1,119 @@
+"""Command-line interface.
+
+``repro-check`` exposes the three things a user typically wants from the
+command line:
+
+* ``repro-check check model.aag`` — model-check one AIGER file with IC3
+  (optionally with lemma prediction) and print the verdict;
+* ``repro-check evaluate`` — run the paper's evaluation harness on the
+  synthetic suite and print Tables 1/2 and the figure summaries;
+* ``repro-check suite --list`` — show the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.aiger.parser import read_aiger
+from repro.benchgen.suite import default_suite, quick_suite
+from repro.core.ic3 import IC3
+from repro.core.bmc import BMC
+from repro.core.options import IC3Options
+from repro.core.result import CheckResult
+from repro.harness.report import run_paper_evaluation
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Create the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-check",
+        description="IC3 with CTP-based lemma prediction (DAC'24 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="model-check an AIGER file")
+    check.add_argument("model", help="path to an .aag or .aig file")
+    check.add_argument(
+        "--engine",
+        choices=["ic3", "ic3-pl", "bmc"],
+        default="ic3-pl",
+        help="engine to use (default: ic3-pl)",
+    )
+    check.add_argument("--timeout", type=float, default=None, help="time limit in seconds")
+    check.add_argument("--max-depth", type=int, default=50, help="BMC depth bound")
+    check.add_argument("--verbose", action="store_true", help="per-frame progress")
+
+    evaluate = sub.add_parser("evaluate", help="run the paper evaluation harness")
+    evaluate.add_argument("--timeout", type=float, default=5.0, help="per-case timeout")
+    evaluate.add_argument(
+        "--quick", action="store_true", help="use the small smoke-test suite"
+    )
+    evaluate.add_argument(
+        "--validate", action="store_true", help="validate certificates and traces"
+    )
+    evaluate.add_argument("--verbose", action="store_true", help="per-case progress")
+
+    suite = sub.add_parser("suite", help="inspect the benchmark suite")
+    suite.add_argument("--list", action="store_true", help="list the cases")
+    suite.add_argument("--quick", action="store_true", help="use the smoke-test suite")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "check":
+        return _command_check(args)
+    if args.command == "evaluate":
+        return _command_evaluate(args)
+    if args.command == "suite":
+        return _command_suite(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _command_check(args: argparse.Namespace) -> int:
+    aig = read_aiger(args.model)
+    if args.engine == "bmc":
+        outcome = BMC(aig).check(max_depth=args.max_depth, time_limit=args.timeout)
+    else:
+        options = IC3Options(verbose=1 if args.verbose else 0)
+        if args.engine == "ic3-pl":
+            options = options.with_prediction()
+        outcome = IC3(aig, options).check(time_limit=args.timeout)
+    print(outcome.summary())
+    if outcome.result == CheckResult.UNSAFE:
+        return 1
+    if outcome.result == CheckResult.SAFE:
+        return 0
+    return 2
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    cases = quick_suite() if args.quick else default_suite()
+    report = run_paper_evaluation(
+        cases=cases,
+        timeout=args.timeout,
+        validate=args.validate,
+        verbose=args.verbose,
+    )
+    print(report.to_text())
+    wrong = report.suite_result.incorrect_results()
+    if wrong:
+        print(f"\nWARNING: {len(wrong)} results contradict the ground truth")
+        return 1
+    return 0
+
+
+def _command_suite(args: argparse.Namespace) -> int:
+    cases = quick_suite() if args.quick else default_suite()
+    print(f"{len(cases)} cases")
+    if args.list:
+        for case in cases:
+            print("  " + case.describe())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Model-checking engines.
+
+The central piece is :class:`~repro.core.ic3.IC3`, an IC3/PDR engine with
+pluggable inductive-generalization strategies and the paper's CTP-based
+lemma prediction (:mod:`repro.core.predict`).  BMC and k-induction are
+provided as baselines and cross-checking oracles, and
+:mod:`repro.core.invariant` validates the certificates produced by all of
+them.
+"""
+
+from repro.core.options import IC3Options, GeneralizationStrategy, LiteralOrdering
+from repro.core.result import (
+    CheckResult,
+    CheckOutcome,
+    Certificate,
+    CounterexampleTrace,
+    TraceStep,
+)
+from repro.core.stats import IC3Stats
+from repro.core.ic3 import IC3
+from repro.core.bmc import BMC
+from repro.core.kinduction import KInduction
+from repro.core.invariant import (
+    check_certificate,
+    check_counterexample,
+    CertificateError,
+)
+
+__all__ = [
+    "IC3",
+    "IC3Options",
+    "GeneralizationStrategy",
+    "LiteralOrdering",
+    "IC3Stats",
+    "CheckResult",
+    "CheckOutcome",
+    "Certificate",
+    "CounterexampleTrace",
+    "TraceStep",
+    "BMC",
+    "KInduction",
+    "check_certificate",
+    "check_counterexample",
+    "CertificateError",
+]

@@ -1,0 +1,88 @@
+"""Bounded model checking.
+
+BMC unrolls the transition relation ``k`` times and asks a single SAT
+query per depth: ``I(s_0) ∧ T(s_0,s_1) ∧ ... ∧ T(s_{k-1},s_k) ∧ Bad(s_k)``.
+It is complete only for finding counterexamples, which makes it the
+natural cross-checking oracle for IC3's UNSAFE verdicts and a baseline in
+the evaluation harness.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Union
+
+from repro.aiger.aig import AIG
+from repro.core.result import (
+    CheckOutcome,
+    CheckResult,
+    CounterexampleTrace,
+    TraceStep,
+)
+from repro.core.stats import IC3Stats
+from repro.ts.unroll import Unroller
+
+
+class BMC:
+    """Bounded model checker over an AIG."""
+
+    def __init__(self, aig: AIG, property_index: int = 0):
+        self.aig = aig
+        self.property_index = property_index
+        self.unroller = Unroller(aig)
+        self.stats = IC3Stats()
+
+    def check(
+        self,
+        max_depth: int = 50,
+        time_limit: Optional[float] = None,
+    ) -> CheckOutcome:
+        """Search for a counterexample of length up to ``max_depth``.
+
+        Returns UNSAFE with a trace if one exists within the bound, and
+        UNKNOWN otherwise (BMC alone cannot prove safety).
+        """
+        start = time.perf_counter()
+        deadline = start + time_limit if time_limit is not None else None
+        for depth in range(max_depth + 1):
+            if deadline is not None and time.perf_counter() > deadline:
+                return self._outcome(CheckResult.UNKNOWN, start, reason="time limit reached")
+            bad_lit = self.unroller.bad_lit_at(depth, self.property_index)
+            self.stats.sat_calls += 1
+            if self.unroller.solver.solve([bad_lit]):
+                trace = self._extract_trace(depth)
+                outcome = self._outcome(CheckResult.UNSAFE, start)
+                outcome.trace = trace
+                outcome.frames = depth
+                return outcome
+        return self._outcome(
+            CheckResult.UNKNOWN, start, reason=f"no counterexample up to depth {max_depth}"
+        )
+
+    def check_depth(self, depth: int) -> bool:
+        """True if a counterexample of exactly ``depth`` transitions exists."""
+        bad_lit = self.unroller.bad_lit_at(depth, self.property_index)
+        self.stats.sat_calls += 1
+        return self.unroller.solver.solve([bad_lit])
+
+    # ------------------------------------------------------------------
+    def _extract_trace(self, depth: int) -> CounterexampleTrace:
+        model = self.unroller.solver.get_model()
+        steps = []
+        for frame in range(depth + 1):
+            steps.append(
+                TraceStep(
+                    state=self.unroller.latch_cube_at(model, frame),
+                    inputs=self.unroller.input_values_at(model, frame),
+                )
+            )
+        return CounterexampleTrace(steps=steps)
+
+    def _outcome(self, result: CheckResult, start: float, reason: str = "") -> CheckOutcome:
+        return CheckOutcome(
+            result=result,
+            runtime=time.perf_counter() - start,
+            stats=self.stats,
+            engine="bmc",
+            reason=reason,
+        )

@@ -1,0 +1,296 @@
+"""Frame sequence management and the SAT queries of IC3.
+
+The frame sequence is *delta encoded*: ``frames[i]`` stores only the cubes
+whose lemma lives exactly at level ``i``; the logical frame ``F_i`` is the
+conjunction of the lemmas stored at every level ``j >= i``.  Each frame has
+its own incremental SAT solver loaded with the transition relation and the
+frame's lemmas (the classic IC3ref architecture); temporary clauses use
+activation literals and the solvers are rebuilt periodically to shed the
+accumulated garbage.
+
+The three queries every IC3 variant needs are provided here:
+
+* :meth:`FrameManager.get_bad_state` — ``SAT?(F_k ∧ Bad)``;
+* :meth:`FrameManager.consecution` — ``SAT?(F_i ∧ ¬c ∧ T ∧ c')`` with
+  assumption-core extraction on UNSAT and CTI/CTP extraction on SAT;
+* :meth:`FrameManager.lift_predecessor` — assumption-core shrinking of a
+  concrete predecessor state.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.options import IC3Options
+from repro.core.stats import IC3Stats
+from repro.logic.cube import Clause, Cube
+from repro.sat.solver import Solver
+from repro.ts.system import TransitionSystem
+
+
+@dataclass
+class ConsecutionResult:
+    """Outcome of one relative-induction query."""
+
+    holds: bool
+    core_cube: Optional[Cube] = None
+    """On UNSAT: the subset of the cube present in the assumption core."""
+
+    predecessor: Optional[Cube] = None
+    """On SAT: the pre-state s of the counterexample (full latch cube)."""
+
+    inputs: Optional[Cube] = None
+    """On SAT: the input assignment of the counterexample transition."""
+
+    successor: Optional[Cube] = None
+    """On SAT: the post-state t (the CTP state), over current-state vars."""
+
+    input_values: Dict[int, bool] = field(default_factory=dict)
+    """On SAT: AIG input literal -> value (for trace reconstruction)."""
+
+
+@dataclass
+class BadState:
+    """A state of the top frame that can violate the property."""
+
+    state: Cube
+    inputs: Cube
+    input_values: Dict[int, bool] = field(default_factory=dict)
+
+
+class FrameManager:
+    """Owns the frame sequence, per-frame solvers and lemma bookkeeping."""
+
+    def __init__(self, ts: TransitionSystem, options: IC3Options, stats: IC3Stats):
+        self.ts = ts
+        self.options = options
+        self.stats = stats
+        self.frames: List[List[Cube]] = []
+        self._solvers: List[Solver] = []
+        self._garbage: List[int] = []
+
+        # Frame 0 holds the initial states.
+        self._push_new_frame()
+
+        self._lift_solver = self._fresh_trans_solver()
+        self._lift_garbage = 0
+
+    # ------------------------------------------------------------------
+    # Frame construction
+    # ------------------------------------------------------------------
+    @property
+    def top_level(self) -> int:
+        """Index of the highest frame currently open (the k of IC3)."""
+        return len(self.frames) - 1
+
+    def add_frame(self) -> int:
+        """Open a new top frame F_{k+1} = ⊤ and return its index."""
+        self._push_new_frame()
+        self.stats.frames_opened += 1
+        return self.top_level
+
+    def _push_new_frame(self) -> None:
+        level = len(self.frames)
+        self.frames.append([])
+        solver = self._fresh_trans_solver()
+        if level == 0:
+            for lit in self.ts.init_cube:
+                solver.add_clause([lit])
+        else:
+            # Lemmas of every level >= this one belong to this frame; at
+            # creation time no lemma lives above, so nothing to add.
+            pass
+        self._solvers.append(solver)
+        self._garbage.append(0)
+
+    def _fresh_trans_solver(self) -> Solver:
+        solver = Solver()
+        solver.ensure_var(self.ts.num_vars)
+        for clause in self.ts.trans:
+            solver.add_clause(clause.literals)
+        return solver
+
+    def _rebuild_solver(self, level: int) -> None:
+        solver = self._fresh_trans_solver()
+        if level == 0:
+            for lit in self.ts.init_cube:
+                solver.add_clause([lit])
+        for frame_level in range(max(level, 1), len(self.frames)):
+            for cube in self.frames[frame_level]:
+                solver.add_clause(cube.negate().literals)
+        self._solvers[level] = solver
+        self._garbage[level] = 0
+
+    def _note_garbage(self, level: int) -> None:
+        self._garbage[level] += 1
+        if self._garbage[level] >= self.options.solver_rebuild_interval:
+            self._rebuild_solver(level)
+
+    # ------------------------------------------------------------------
+    # Lemma bookkeeping
+    # ------------------------------------------------------------------
+    def add_blocked_cube(self, cube: Cube, level: int) -> None:
+        """Record that ``cube`` is blocked in frames 1..level (lemma ¬cube)."""
+        if level < 1 or level > self.top_level:
+            raise ValueError(f"lemma level {level} out of range 1..{self.top_level}")
+        # Subsumption: drop weaker cubes made redundant by the new lemma.
+        for frame_level in range(1, level + 1):
+            kept = []
+            for existing in self.frames[frame_level]:
+                if cube.literal_set <= existing.literal_set:
+                    self.stats.subsumed_lemmas += 1
+                    continue
+                kept.append(existing)
+            self.frames[frame_level] = kept
+        self.frames[level].append(cube)
+        clause = cube.negate().literals
+        for frame_level in range(1, level + 1):
+            self._solvers[frame_level].add_clause(clause)
+        self.stats.lemmas_added += 1
+
+    def promote_cube(self, cube: Cube, from_level: int, to_level: int) -> None:
+        """Move a lemma up after a successful propagation push."""
+        if cube in self.frames[from_level]:
+            self.frames[from_level].remove(cube)
+        self.frames[to_level].append(cube)
+        clause = cube.negate().literals
+        for frame_level in range(from_level + 1, to_level + 1):
+            self._solvers[frame_level].add_clause(clause)
+        self.stats.lemmas_pushed += 1
+
+    def lemmas_exactly_at(self, level: int) -> List[Cube]:
+        """Cubes whose lemma lives exactly at ``level`` (F_level \\ F_{level+1})."""
+        if level < 0 or level > self.top_level:
+            return []
+        return list(self.frames[level])
+
+    def lemmas_at_or_above(self, level: int) -> List[Cube]:
+        """All cubes of the logical frame F_level."""
+        result: List[Cube] = []
+        for frame_level in range(max(level, 1), len(self.frames)):
+            result.extend(self.frames[frame_level])
+        return result
+
+    def frame_clauses(self, level: int) -> List[Clause]:
+        """The lemma clauses of the logical frame F_level."""
+        return [cube.negate() for cube in self.lemmas_at_or_above(level)]
+
+    def is_blocked_syntactically(self, cube: Cube, level: int) -> bool:
+        """True if an existing lemma at level >= ``level`` already blocks ``cube``."""
+        for frame_level in range(level, len(self.frames)):
+            for blocked in self.frames[frame_level]:
+                if blocked.literal_set <= cube.literal_set:
+                    return True
+        return False
+
+    def frames_equal(self, level: int) -> bool:
+        """True if F_level = F_{level+1}, i.e. no lemma lives exactly at level."""
+        return not self.frames[level]
+
+    # ------------------------------------------------------------------
+    # SAT queries
+    # ------------------------------------------------------------------
+    def get_bad_state(self, level: int) -> Optional[BadState]:
+        """Return a state of F_level that can reach Bad combinationally."""
+        solver = self._solvers[level]
+        start = time.perf_counter()
+        satisfiable = solver.solve([self.ts.bad_lit])
+        self.stats.sat_time += time.perf_counter() - start
+        self.stats.sat_calls += 1
+        if not satisfiable:
+            return None
+        model = solver.get_model()
+        self.stats.bad_cubes += 1
+        return BadState(
+            state=self.ts.state_cube_from_model(model),
+            inputs=self.ts.input_cube_from_model(model),
+            input_values=self.ts.input_assignment_from_model(model),
+        )
+
+    def consecution(self, level: int, cube: Cube, extract_model: bool = True) -> ConsecutionResult:
+        """Check whether ``¬cube`` is inductive relative to ``F_level``.
+
+        The query is ``SAT?(F_level ∧ ¬cube ∧ T ∧ cube')``.  When it is
+        UNSAT the lemma ``¬cube`` may be added at ``level + 1``; the
+        assumption core is translated back into a sub-cube to accelerate
+        generalization.  When it is SAT the model yields the predecessor
+        ``s``, the inputs, and the successor ``t`` — the latter is exactly
+        the counterexample-to-propagation state used by lemma prediction.
+        """
+        solver = self._solvers[level]
+        activation = solver.new_var()
+        solver.add_clause([-activation] + [-lit for lit in cube])
+        assumptions = [activation] + [self.ts.prime_lit(lit) for lit in cube]
+
+        start = time.perf_counter()
+        satisfiable = solver.solve(assumptions)
+        self.stats.sat_time += time.perf_counter() - start
+        self.stats.sat_calls += 1
+        self.stats.consecution_calls += 1
+
+        if satisfiable:
+            result = ConsecutionResult(holds=False)
+            if extract_model:
+                model = solver.get_model()
+                result.predecessor = self.ts.state_cube_from_model(model)
+                result.inputs = self.ts.input_cube_from_model(model)
+                result.successor = self.ts.state_cube_from_model(model, primed=True)
+                result.input_values = self.ts.input_assignment_from_model(model)
+        else:
+            core = set(solver.unsat_core())
+            reduced = [lit for lit in cube if self.ts.prime_lit(lit) in core]
+            result = ConsecutionResult(holds=True, core_cube=Cube(reduced))
+
+        solver.add_clause([-activation])
+        self._note_garbage(level)
+        return result
+
+    def lift_predecessor(self, predecessor: Cube, inputs: Cube, successor: Cube) -> Cube:
+        """Shrink a concrete predecessor with an assumption core.
+
+        ``predecessor ∧ inputs ∧ T ⇒ successor'`` holds by construction, so
+        the query ``predecessor ∧ inputs ∧ T ∧ ¬successor'`` is UNSAT and
+        the core restricted to the predecessor literals is a generalized
+        predecessor cube: every completion of it still transitions into the
+        successor cube under the same inputs.
+        """
+        solver = self._lift_solver
+        activation = solver.new_var()
+        solver.add_clause(
+            [-activation] + [-self.ts.prime_lit(lit) for lit in successor]
+        )
+        assumptions = [activation] + list(predecessor) + list(inputs)
+
+        start = time.perf_counter()
+        satisfiable = solver.solve(assumptions)
+        self.stats.sat_time += time.perf_counter() - start
+        self.stats.sat_calls += 1
+        self.stats.lifting_calls += 1
+
+        if satisfiable:
+            # Should not happen; fall back to the unshrunk predecessor.
+            lifted = predecessor
+        else:
+            core = set(solver.unsat_core())
+            kept = [lit for lit in predecessor if lit in core]
+            lifted = Cube(kept) if kept else predecessor
+
+        solver.add_clause([-activation])
+        self._lift_garbage += 1
+        if self._lift_garbage >= self.options.solver_rebuild_interval:
+            self._lift_solver = self._fresh_trans_solver()
+            self._lift_garbage = 0
+        return lifted
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def lemma_counts(self) -> List[int]:
+        """Number of lemmas stored exactly at each level."""
+        return [len(frame) for frame in self.frames]
+
+    def total_lemmas(self) -> int:
+        """Number of lemmas across all frames."""
+        return sum(len(frame) for frame in self.frames)

@@ -1,0 +1,373 @@
+"""The IC3/PDR engine with optional CTP-based lemma prediction.
+
+The engine follows Algorithm 1 of the paper (which itself is standard
+IC3): a blocking phase removes property-violating states from the top
+frame by recursively blocking their predecessors and generalizing the
+resulting lemmas, and a propagation phase pushes lemmas forward until two
+consecutive frames coincide, at which point the frame is an inductive
+invariant.  With ``IC3Options.enable_prediction`` the modifications of
+Algorithm 2 are active: push failures record counterexamples to
+propagation, and generalization first tries to predict a lemma from a
+failed parent before falling back to dropping variables.
+
+Typical use::
+
+    from repro.benchgen import counter_overflow
+    from repro.core import IC3, IC3Options
+
+    outcome = IC3(counter_overflow(8), IC3Options().with_prediction()).check()
+    print(outcome.summary())
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.aiger.aig import AIG
+from repro.core.frames import BadState, FrameManager
+from repro.core.generalize import make_generalizer
+from repro.core.obligations import Obligation, ObligationQueue
+from repro.core.options import IC3Options
+from repro.core.predict import LemmaPredictor
+from repro.core.result import (
+    Certificate,
+    CheckOutcome,
+    CheckResult,
+    CounterexampleTrace,
+    TraceStep,
+)
+from repro.core.stats import IC3Stats
+from repro.logic.cube import Cube
+from repro.ts.system import TransitionSystem
+
+
+class IC3:
+    """Safety model checker for AIGs / transition systems."""
+
+    def __init__(
+        self,
+        system: Union[AIG, TransitionSystem],
+        options: Optional[IC3Options] = None,
+        property_index: int = 0,
+    ):
+        if isinstance(system, TransitionSystem):
+            self.ts = system
+        else:
+            self.ts = TransitionSystem(system, property_index=property_index)
+        self.options = options if options is not None else IC3Options()
+        self.options.validate()
+
+        self.stats = IC3Stats()
+        self.frames = FrameManager(self.ts, self.options, self.stats)
+        self._literal_activity: Dict[int, float] = {}
+        self.generalizer = make_generalizer(
+            self.frames, self.ts, self.options, self.stats, self._literal_activity
+        )
+        self.predictor = LemmaPredictor(self.frames, self.options, self.stats)
+
+        self._deadline: Optional[float] = None
+        self._start_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def check(self, time_limit: Optional[float] = None) -> CheckOutcome:
+        """Run the model checker; returns a :class:`CheckOutcome`."""
+        self._start_time = time.perf_counter()
+        self._deadline = (
+            self._start_time + time_limit if time_limit is not None else None
+        )
+        try:
+            outcome = self._run()
+        except _TimeoutSignal:
+            outcome = self._unknown("time limit reached")
+        except _BudgetSignal as signal:
+            outcome = self._unknown(str(signal))
+        outcome.runtime = time.perf_counter() - self._start_time
+        outcome.stats = self.stats
+        outcome.stats.time_total = outcome.runtime
+        outcome.frames = self.frames.top_level
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Main loop (Algorithm 1, procedure ic3)
+    # ------------------------------------------------------------------
+    def _run(self) -> CheckOutcome:
+        if not self.ts.latch_vars:
+            return self._check_combinational()
+
+        # Counterexamples of length 0: an initial state violates P.
+        bad_init = self.frames.get_bad_state(0)
+        if bad_init is not None:
+            trace = CounterexampleTrace(
+                steps=[TraceStep(state=bad_init.state, inputs=bad_init.input_values)]
+            )
+            return CheckOutcome(
+                result=CheckResult.UNSAFE, trace=trace, engine=self._engine_name()
+            )
+
+        self.frames.add_frame()  # open F_1 = ⊤
+        while True:
+            self._check_limits()
+            top = self.frames.top_level
+
+            # Blocking phase: make F_top ⇒ P.
+            while True:
+                self._check_limits()
+                bad = self.frames.get_bad_state(top)
+                if bad is None:
+                    break
+                blocked, trace = self._block_bad_state(bad, top)
+                if not blocked:
+                    return CheckOutcome(
+                        result=CheckResult.UNSAFE,
+                        trace=trace,
+                        engine=self._engine_name(),
+                    )
+
+            if self.frames.top_level + 1 > self.options.max_frames:
+                return self._unknown("frame limit reached")
+            self.frames.add_frame()
+            invariant_level = self._propagate()
+            if self.options.verbose >= 1:
+                self._log_frame_progress()
+            if invariant_level is not None:
+                certificate = Certificate(
+                    clauses=self.frames.frame_clauses(invariant_level),
+                    level=invariant_level,
+                )
+                return CheckOutcome(
+                    result=CheckResult.SAFE,
+                    certificate=certificate,
+                    engine=self._engine_name(),
+                )
+
+    # ------------------------------------------------------------------
+    # Blocking phase
+    # ------------------------------------------------------------------
+    def _block_bad_state(
+        self, bad: BadState, level: int
+    ) -> Tuple[bool, Optional[CounterexampleTrace]]:
+        """Block a bad state of the top frame; False means a real counterexample."""
+        queue = ObligationQueue()
+        queue.push(
+            Obligation(
+                level=level,
+                depth=0,
+                cube=bad.state,
+                inputs=bad.input_values,
+                successor=None,
+            )
+        )
+
+        while not queue.is_empty():
+            self._check_limits()
+            obligation = queue.pop()
+            self.stats.obligations_processed += 1
+            if self.stats.obligations_processed > self.options.max_obligations:
+                raise _BudgetSignal("obligation limit reached")
+
+            if obligation.level == 0:
+                return False, self._build_trace(obligation)
+
+            if self.frames.is_blocked_syntactically(obligation.cube, obligation.level):
+                self._requeue_above(queue, obligation)
+                continue
+
+            result = self.frames.consecution(obligation.level - 1, obligation.cube)
+            if result.holds:
+                base = self._usable_core(result.core_cube, obligation.cube)
+                lemma_cube, push_start = self._generalize(base, obligation)
+                final_level = self._push_lemma(lemma_cube, max(push_start, obligation.level))
+                self.frames.add_blocked_cube(lemma_cube, final_level)
+                self._bump_activity(lemma_cube)
+                if self.options.verbose >= 2:
+                    print(
+                        f"[ic3] blocked |cube|={len(lemma_cube)} at level {final_level}"
+                    )
+                self._requeue_above(queue, obligation, at_level=final_level + 1)
+            else:
+                self.stats.ctis += 1
+                predecessor = result.predecessor
+                if self.options.enable_lifting and predecessor is not None:
+                    predecessor = self.frames.lift_predecessor(
+                        predecessor, result.inputs, obligation.cube
+                    )
+                queue.push(
+                    Obligation(
+                        level=obligation.level - 1,
+                        depth=obligation.depth + 1,
+                        cube=predecessor,
+                        inputs=result.input_values,
+                        successor=obligation,
+                    )
+                )
+                queue.push(obligation)
+        return True, None
+
+    def _requeue_above(
+        self, queue: ObligationQueue, obligation: Obligation, at_level: Optional[int] = None
+    ) -> None:
+        """Re-enqueue an obligation one frame higher (IC3ref-style aggressive push)."""
+        if not self.options.aggressive_push:
+            return
+        level = at_level if at_level is not None else obligation.level + 1
+        if level > self.frames.top_level:
+            return
+        queue.push(
+            Obligation(
+                level=level,
+                depth=obligation.depth,
+                cube=obligation.cube,
+                inputs=obligation.inputs,
+                successor=obligation.successor,
+            )
+        )
+
+    def _usable_core(self, core_cube: Optional[Cube], original: Cube) -> Cube:
+        """Use the consecution core as the generalization seed when sound."""
+        if (
+            not self.options.use_unsat_core_shrinking
+            or core_cube is None
+            or core_cube.is_empty()
+            or self.ts.cube_intersects_init(core_cube)
+        ):
+            return original
+        return core_cube
+
+    # ------------------------------------------------------------------
+    # Generalization (Algorithm 2, function generalize)
+    # ------------------------------------------------------------------
+    def _generalize(self, cube: Cube, obligation: Obligation) -> Tuple[Cube, int]:
+        """Generalize a blockable cube; returns (cube, minimum push level).
+
+        When prediction succeeds the predicted cube is returned unchanged
+        (it is already considered high quality); otherwise the configured
+        MIC strategy runs on the core-shrunk cube.
+        """
+        level = obligation.level
+        self.stats.generalizations += 1
+
+        if self.options.enable_prediction:
+            start = time.perf_counter()
+            prediction = self.predictor.predict(obligation.cube, level)
+            self.stats.time_prediction += time.perf_counter() - start
+            if prediction is not None:
+                return prediction.cube, level
+
+        start = time.perf_counter()
+        generalized = self.generalizer.generalize(cube, level)
+        self.stats.time_generalization += time.perf_counter() - start
+        return generalized, level
+
+    def _push_lemma(self, cube: Cube, level: int) -> int:
+        """Push a freshly learnt lemma as far forward as it stays inductive.
+
+        Records the counterexample to propagation of the final, failed push
+        (Algorithm 2 line 38) so that later generalizations can predict
+        from it.
+        """
+        current = level
+        while current < self.frames.top_level:
+            result = self.frames.consecution(current, cube)
+            if result.holds:
+                current += 1
+                continue
+            if self.options.enable_prediction:
+                self.predictor.record_push_failure(cube, current, result.successor)
+            break
+        return current
+
+    def _bump_activity(self, cube: Cube) -> None:
+        for literal in cube:
+            var = abs(literal)
+            self._literal_activity[var] = self._literal_activity.get(var, 0.0) + 1.0
+
+    # ------------------------------------------------------------------
+    # Propagation phase (Algorithm 2, function propagate)
+    # ------------------------------------------------------------------
+    def _propagate(self) -> Optional[int]:
+        """Push lemmas forward; returns the invariant level if a fixpoint appears."""
+        start = time.perf_counter()
+        if self.options.enable_prediction and self.options.clear_ctp_before_propagation:
+            self.predictor.clear_table()
+
+        invariant_level: Optional[int] = None
+        for level in range(1, self.frames.top_level):
+            for cube in self.frames.lemmas_exactly_at(level):
+                self._check_limits()
+                result = self.frames.consecution(level, cube)
+                if result.holds:
+                    self.frames.promote_cube(cube, level, level + 1)
+                else:
+                    if self.options.enable_prediction:
+                        self.predictor.record_push_failure(cube, level, result.successor)
+            if self.frames.frames_equal(level):
+                invariant_level = level + 1
+                break
+
+        # Decay literal activities once per propagation round.
+        for var in self._literal_activity:
+            self._literal_activity[var] *= 0.9
+
+        self.stats.time_propagation += time.perf_counter() - start
+        return invariant_level
+
+    # ------------------------------------------------------------------
+    # Counterexample / special cases
+    # ------------------------------------------------------------------
+    def _build_trace(self, initial_obligation: Obligation) -> CounterexampleTrace:
+        """Assemble the trace from the obligation chain reaching frame 0."""
+        steps = [
+            TraceStep(state=node.cube, inputs=node.inputs)
+            for node in initial_obligation.chain_to_bad()
+        ]
+        return CounterexampleTrace(steps=steps)
+
+    def _check_combinational(self) -> CheckOutcome:
+        """Handle latch-free circuits: the property is violated iff Bad is SAT."""
+        bad = self.frames.get_bad_state(0)
+        if bad is None:
+            return CheckOutcome(
+                result=CheckResult.SAFE,
+                certificate=Certificate(clauses=[], level=0),
+                engine=self._engine_name(),
+            )
+        trace = CounterexampleTrace(
+            steps=[TraceStep(state=bad.state, inputs=bad.input_values)]
+        )
+        return CheckOutcome(
+            result=CheckResult.UNSAFE, trace=trace, engine=self._engine_name()
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _engine_name(self) -> str:
+        return "ic3-pl" if self.options.enable_prediction else "ic3"
+
+    def _unknown(self, reason: str) -> CheckOutcome:
+        return CheckOutcome(
+            result=CheckResult.UNKNOWN, reason=reason, engine=self._engine_name()
+        )
+
+    def _check_limits(self) -> None:
+        if self._deadline is not None and time.perf_counter() > self._deadline:
+            raise _TimeoutSignal()
+
+    def _log_frame_progress(self) -> None:
+        counts = self.frames.lemma_counts()
+        print(
+            f"[ic3] k={self.frames.top_level} lemmas/level={counts} "
+            f"sat_calls={self.stats.sat_calls} "
+            f"predictions={self.stats.prediction_successes}/{self.stats.prediction_queries}"
+        )
+
+
+class _TimeoutSignal(Exception):
+    """Internal control-flow signal for the per-run time limit."""
+
+
+class _BudgetSignal(Exception):
+    """Internal control-flow signal for obligation/frame budgets."""

@@ -1,0 +1,79 @@
+"""k-induction.
+
+A property is k-inductive if it holds in the first ``k`` states of every
+execution (base case, a BMC query) and any ``k`` consecutive property-
+satisfying states are followed by another one (step case, checked on an
+unrolling that is not anchored at the initial states).  k-induction can
+prove safety for many shallow properties and serves as an additional
+baseline and cross-check for IC3's SAFE verdicts.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.aiger.aig import AIG
+from repro.core.result import CheckOutcome, CheckResult, Certificate
+from repro.core.stats import IC3Stats
+from repro.ts.unroll import Unroller
+
+
+class KInduction:
+    """k-induction engine over an AIG."""
+
+    def __init__(self, aig: AIG, property_index: int = 0):
+        self.aig = aig
+        self.property_index = property_index
+        self.stats = IC3Stats()
+
+    def check(
+        self,
+        max_k: int = 20,
+        time_limit: Optional[float] = None,
+    ) -> CheckOutcome:
+        """Try to prove (or refute) the property with increasing ``k``."""
+        start = time.perf_counter()
+        deadline = start + time_limit if time_limit is not None else None
+
+        base_unroller = Unroller(self.aig, use_init=True)
+        step_unroller = Unroller(self.aig, use_init=False)
+
+        for k in range(1, max_k + 1):
+            if deadline is not None and time.perf_counter() > deadline:
+                return self._outcome(CheckResult.UNKNOWN, start, "time limit reached")
+
+            # Base case: no counterexample of length < k.
+            bad = base_unroller.bad_lit_at(k - 1, self.property_index)
+            self.stats.sat_calls += 1
+            if base_unroller.solver.solve([bad]):
+                outcome = self._outcome(CheckResult.UNSAFE, start)
+                outcome.frames = k - 1
+                return outcome
+
+            # Step case: k good states are followed by a good state.
+            # Assume !bad at frames 0..k-1, ask for bad at frame k.
+            assumptions = [
+                -step_unroller.bad_lit_at(frame, self.property_index)
+                for frame in range(k)
+            ]
+            assumptions.append(step_unroller.bad_lit_at(k, self.property_index))
+            self.stats.sat_calls += 1
+            if not step_unroller.solver.solve(assumptions):
+                outcome = self._outcome(CheckResult.SAFE, start)
+                outcome.certificate = Certificate(clauses=[], level=k)
+                outcome.frames = k
+                return outcome
+
+        return self._outcome(
+            CheckResult.UNKNOWN, start, f"property is not k-inductive for k <= {max_k}"
+        )
+
+    def _outcome(self, result: CheckResult, start: float, reason: str = "") -> CheckOutcome:
+        return CheckOutcome(
+            result=result,
+            runtime=time.perf_counter() - start,
+            stats=self.stats,
+            engine="k-induction",
+            reason=reason,
+        )

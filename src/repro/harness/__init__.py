@@ -1,0 +1,36 @@
+"""Evaluation harness reproducing the paper's tables and figures.
+
+The harness runs a set of engine configurations (the stand-ins for RIC3,
+RIC3-pl, IC3ref, IC3ref-pl, IC3ref-CAV23 and ABC-PDR) over a benchmark
+suite under a per-case time limit, collects per-case runtimes and
+prediction statistics, and derives:
+
+* Table 1 — solved / safe / unsafe counts per configuration;
+* Table 2 — average success rates SR_lp, SR_fp, SR_adv;
+* Figure 2 — cactus data (cases solved within a time limit);
+* Figure 3 — scatter data (runtime with vs. without prediction);
+* Figure 4 — runtime ratio vs. SR_adv with the cumulative improved count.
+"""
+
+from repro.harness.configs import EngineConfig, paper_configurations, prediction_pairs
+from repro.harness.runner import BenchmarkRunner, CaseResult, SuiteResult
+from repro.harness.tables import summary_table, success_rate_table, Table
+from repro.harness.figures import cactus_data, scatter_data, ratio_vs_sradv
+from repro.harness.report import PaperReport, run_paper_evaluation
+
+__all__ = [
+    "EngineConfig",
+    "paper_configurations",
+    "prediction_pairs",
+    "BenchmarkRunner",
+    "CaseResult",
+    "SuiteResult",
+    "Table",
+    "summary_table",
+    "success_rate_table",
+    "cactus_data",
+    "scatter_data",
+    "ratio_vs_sradv",
+    "PaperReport",
+    "run_paper_evaluation",
+]

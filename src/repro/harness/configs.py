@@ -1,0 +1,87 @@
+"""Engine configurations evaluated by the harness.
+
+Each configuration is one row of the paper's Table 1.  The paper compares
+two independent IC3 code bases (IC3ref in C++ and RIC3 in Rust), each with
+and without the proposed lemma prediction, plus the CAV'23 "i-Good lemmas"
+variant and ABC's PDR.  Those exact binaries are not available here, so
+every row is a differently-configured instance of this library's IC3
+engine; the ``plays_role_of`` field records the mapping (see DESIGN.md for
+the substitution rationale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.core.options import IC3Options
+
+
+@dataclass
+class EngineConfig:
+    """A named engine configuration."""
+
+    name: str
+    options: IC3Options
+    plays_role_of: str = ""
+    description: str = ""
+
+    @property
+    def uses_prediction(self) -> bool:
+        """True if this configuration has the paper's optimization enabled."""
+        return self.options.enable_prediction
+
+
+def paper_configurations() -> List[EngineConfig]:
+    """The six configurations of Table 1, in the paper's order."""
+    return [
+        EngineConfig(
+            name="RIC3",
+            options=IC3Options.profile_ic3_b(),
+            plays_role_of="RIC3 (Rust IC3 by the authors)",
+            description="activity-ordered MIC, no lifting, no aggressive push",
+        ),
+        EngineConfig(
+            name="RIC3-pl",
+            options=IC3Options.profile_ic3_b().with_prediction(),
+            plays_role_of="RIC3 + predicting lemmas",
+            description="RIC3 profile with CTP-based lemma prediction",
+        ),
+        EngineConfig(
+            name="IC3ref",
+            options=IC3Options.profile_ic3_a(),
+            plays_role_of="IC3ref (Bradley's reference implementation)",
+            description="index-ordered MIC, core lifting, aggressive push",
+        ),
+        EngineConfig(
+            name="IC3ref-pl",
+            options=IC3Options.profile_ic3_a().with_prediction(),
+            plays_role_of="IC3ref + predicting lemmas",
+            description="IC3ref profile with CTP-based lemma prediction",
+        ),
+        EngineConfig(
+            name="IC3ref-CAV23",
+            options=IC3Options.profile_cav23(),
+            plays_role_of="IC3ref with i-Good lemmas (Xia et al., CAV'23)",
+            description="parent-lemma-ordered generalization",
+        ),
+        EngineConfig(
+            name="ABC-PDR",
+            options=IC3Options.profile_pdr(),
+            plays_role_of="PDR as implemented in ABC",
+            description="CTG generalization, activity ordering, aggressive push",
+        ),
+    ]
+
+
+def prediction_pairs() -> List[Tuple[str, str]]:
+    """(base, prediction) configuration name pairs used by Figures 3 and 4."""
+    return [("RIC3", "RIC3-pl"), ("IC3ref", "IC3ref-pl")]
+
+
+def config_by_name(name: str) -> EngineConfig:
+    """Look up one of the paper configurations by name."""
+    for config in paper_configurations():
+        if config.name == name:
+            return config
+    raise KeyError(f"unknown configuration {name!r}")

@@ -1,0 +1,208 @@
+"""Figure data generation (Figures 2, 3 and 4 of the paper).
+
+The harness has no plotting dependency; each function returns the exact
+series a plot would show (and the report renders them as text/CSV), which
+is what the reproduction needs to compare shapes against the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.runner import CaseResult, SuiteResult
+
+
+# ----------------------------------------------------------------------
+# Figure 2: cactus plot (cases solved within a time limit)
+# ----------------------------------------------------------------------
+@dataclass
+class CactusSeries:
+    """One configuration's cactus curve."""
+
+    config_name: str
+    solve_times: List[float] = field(default_factory=list)
+    """Sorted runtimes of the solved cases."""
+
+    def solved_within(self, limit: float) -> int:
+        """Number of cases solved within ``limit`` seconds."""
+        return sum(1 for t in self.solve_times if t <= limit)
+
+    def points(self) -> List[Tuple[float, int]]:
+        """(time, cumulative solved) points of the curve."""
+        return [(t, i + 1) for i, t in enumerate(self.solve_times)]
+
+
+def cactus_data(suite_result: SuiteResult) -> Dict[str, CactusSeries]:
+    """Cactus series per configuration (paper Figure 2)."""
+    series: Dict[str, CactusSeries] = {}
+    for config_name in suite_result.configs():
+        times = sorted(
+            r.runtime for r in suite_result.by_config(config_name) if r.solved
+        )
+        series[config_name] = CactusSeries(config_name=config_name, solve_times=times)
+    return series
+
+
+# ----------------------------------------------------------------------
+# Figure 3: scatter of runtimes with vs. without prediction
+# ----------------------------------------------------------------------
+@dataclass
+class ScatterPoint:
+    """One case in the scatter plot."""
+
+    case_name: str
+    base_time: float
+    pl_time: float
+    base_solved: bool
+    pl_solved: bool
+
+    @property
+    def below_diagonal(self) -> bool:
+        """True when the prediction-enabled run was faster."""
+        return self.pl_time < self.base_time
+
+
+@dataclass
+class ScatterData:
+    """All points of one base-vs-prediction comparison."""
+
+    base_config: str
+    pl_config: str
+    points: List[ScatterPoint] = field(default_factory=list)
+
+    @property
+    def below_diagonal_count(self) -> int:
+        """Cases where prediction was faster."""
+        return sum(1 for p in self.points if p.below_diagonal)
+
+    @property
+    def above_diagonal_count(self) -> int:
+        """Cases where prediction was slower."""
+        return sum(1 for p in self.points if p.pl_time > p.base_time)
+
+    def only_pl_solved(self) -> List[str]:
+        """Cases only the prediction-enabled configuration solved."""
+        return [p.case_name for p in self.points if p.pl_solved and not p.base_solved]
+
+    def only_base_solved(self) -> List[str]:
+        """Cases only the base configuration solved."""
+        return [p.case_name for p in self.points if p.base_solved and not p.pl_solved]
+
+
+def scatter_data(
+    suite_result: SuiteResult, base_config: str, pl_config: str
+) -> ScatterData:
+    """Per-case runtime pairs for one engine with and without prediction."""
+    data = ScatterData(base_config=base_config, pl_config=pl_config)
+    for case_name in suite_result.cases():
+        base = suite_result.lookup(base_config, case_name)
+        pl = suite_result.lookup(pl_config, case_name)
+        if base is None or pl is None:
+            continue
+        data.points.append(
+            ScatterPoint(
+                case_name=case_name,
+                base_time=base.penalized_runtime,
+                pl_time=pl.penalized_runtime,
+                base_solved=base.solved,
+                pl_solved=pl.solved,
+            )
+        )
+    return data
+
+
+# ----------------------------------------------------------------------
+# Figure 4: runtime ratio vs. SR_adv
+# ----------------------------------------------------------------------
+@dataclass
+class RatioPoint:
+    """One case in the Figure 4 correlation."""
+
+    case_name: str
+    sr_adv: float
+    ratio: float
+    """base runtime / prediction runtime (> 1 means prediction helped)."""
+
+    improved: bool
+
+
+@dataclass
+class RatioData:
+    """Figure 4: ratio-vs-SR_adv points plus the cumulative improved count."""
+
+    base_config: str
+    pl_config: str
+    points: List[RatioPoint] = field(default_factory=list)
+    excluded_cases: List[str] = field(default_factory=list)
+
+    def sorted_by_sr_adv(self) -> List[RatioPoint]:
+        """Points ordered by increasing prediction success rate."""
+        return sorted(self.points, key=lambda p: p.sr_adv)
+
+    def cumulative_improved(self) -> List[Tuple[float, int]]:
+        """(SR_adv, cumulative improved cases) as SR_adv increases."""
+        cumulative = []
+        count = 0
+        for point in self.sorted_by_sr_adv():
+            if point.improved:
+                count += 1
+            cumulative.append((point.sr_adv, count))
+        return cumulative
+
+    def improvement_rate_by_bucket(self, buckets: int = 4) -> List[Tuple[str, float]]:
+        """Fraction of improved cases per SR_adv quantile bucket.
+
+        The paper's claim is that higher prediction success correlates with
+        better speedups; this summarises that correlation without a plot.
+        """
+        ordered = self.sorted_by_sr_adv()
+        if not ordered:
+            return []
+        result = []
+        size = max(1, len(ordered) // buckets)
+        for start in range(0, len(ordered), size):
+            chunk = ordered[start : start + size]
+            low, high = chunk[0].sr_adv, chunk[-1].sr_adv
+            rate = sum(1 for p in chunk if p.improved) / len(chunk)
+            result.append((f"SR_adv {low:.2f}-{high:.2f}", rate))
+        return result
+
+
+def ratio_vs_sradv(
+    suite_result: SuiteResult,
+    base_config: str,
+    pl_config: str,
+    min_runtime: float = 1.0,
+) -> RatioData:
+    """Figure 4 data.
+
+    As in the paper, cases where both runs finish below ``min_runtime``
+    seconds or both time out are excluded (their ratio is noise).
+    """
+    data = RatioData(base_config=base_config, pl_config=pl_config)
+    for case_name in suite_result.cases():
+        base = suite_result.lookup(base_config, case_name)
+        pl = suite_result.lookup(pl_config, case_name)
+        if base is None or pl is None:
+            continue
+        both_fast = base.runtime < min_runtime and pl.runtime < min_runtime
+        both_timeout = base.timed_out and pl.timed_out
+        if both_fast or both_timeout:
+            data.excluded_cases.append(case_name)
+            continue
+        sr_adv = pl.stats.sr_adv
+        if sr_adv is None:
+            data.excluded_cases.append(case_name)
+            continue
+        pl_time = max(pl.penalized_runtime, 1e-9)
+        ratio = base.penalized_runtime / pl_time
+        data.points.append(
+            RatioPoint(
+                case_name=case_name,
+                sr_adv=sr_adv,
+                ratio=ratio,
+                improved=ratio > 1.0,
+            )
+        )
+    return data

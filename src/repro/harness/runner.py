@@ -1,0 +1,169 @@
+"""Benchmark runner: configurations × cases under a per-case time limit."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.benchgen.case import BenchmarkCase
+from repro.core.ic3 import IC3
+from repro.core.invariant import CertificateError, check_certificate, check_counterexample
+from repro.core.result import CheckOutcome, CheckResult
+from repro.core.stats import IC3Stats
+from repro.harness.configs import EngineConfig
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one (configuration, case) run."""
+
+    case_name: str
+    config_name: str
+    result: CheckResult
+    runtime: float
+    timeout: float
+    expected: Optional[CheckResult] = None
+    stats: IC3Stats = field(default_factory=IC3Stats)
+    frames: int = 0
+    validated: Optional[bool] = None
+    """True/False when the certificate or trace was checked, None if skipped."""
+
+    @property
+    def solved(self) -> bool:
+        """True if a definite verdict was produced within the time limit."""
+        return self.result.solved
+
+    @property
+    def timed_out(self) -> bool:
+        """True if the run hit the per-case time limit."""
+        return not self.solved
+
+    @property
+    def correct(self) -> bool:
+        """True if the verdict matches the ground truth (or was inconclusive)."""
+        if not self.solved or self.expected is None:
+            return True
+        return self.result == self.expected
+
+    @property
+    def penalized_runtime(self) -> float:
+        """Runtime with timeouts replaced by the time limit (PAR-1)."""
+        return self.runtime if self.solved else self.timeout
+
+
+@dataclass
+class SuiteResult:
+    """All per-case results of one harness run."""
+
+    results: List[CaseResult] = field(default_factory=list)
+    timeout: float = 0.0
+
+    def add(self, result: CaseResult) -> None:
+        """Append one case result."""
+        self.results.append(result)
+
+    def configs(self) -> List[str]:
+        """Configuration names in first-seen order."""
+        seen: List[str] = []
+        for result in self.results:
+            if result.config_name not in seen:
+                seen.append(result.config_name)
+        return seen
+
+    def cases(self) -> List[str]:
+        """Case names in first-seen order."""
+        seen: List[str] = []
+        for result in self.results:
+            if result.case_name not in seen:
+                seen.append(result.case_name)
+        return seen
+
+    def by_config(self, config_name: str) -> List[CaseResult]:
+        """All results of one configuration."""
+        return [r for r in self.results if r.config_name == config_name]
+
+    def by_case(self, case_name: str) -> Dict[str, CaseResult]:
+        """Results of one case keyed by configuration name."""
+        return {r.config_name: r for r in self.results if r.case_name == case_name}
+
+    def lookup(self, config_name: str, case_name: str) -> Optional[CaseResult]:
+        """The result of one (configuration, case) pair, if present."""
+        for result in self.results:
+            if result.config_name == config_name and result.case_name == case_name:
+                return result
+        return None
+
+    def solved_count(self, config_name: str) -> int:
+        """Number of cases the configuration solved."""
+        return sum(1 for r in self.by_config(config_name) if r.solved)
+
+    def incorrect_results(self) -> List[CaseResult]:
+        """Results contradicting the ground truth (should be empty)."""
+        return [r for r in self.results if not r.correct]
+
+
+class BenchmarkRunner:
+    """Runs every configuration on every case of a suite."""
+
+    def __init__(
+        self,
+        cases: Sequence[BenchmarkCase],
+        configs: Sequence[EngineConfig],
+        timeout: float = 5.0,
+        validate: bool = False,
+        verbose: bool = False,
+    ):
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.cases = list(cases)
+        self.configs = list(configs)
+        self.timeout = timeout
+        self.validate = validate
+        self.verbose = verbose
+
+    def run(self) -> SuiteResult:
+        """Execute the full cross product and return the collected results."""
+        suite_result = SuiteResult(timeout=self.timeout)
+        for case in self.cases:
+            for config in self.configs:
+                suite_result.add(self.run_one(case, config))
+        return suite_result
+
+    def run_one(self, case: BenchmarkCase, config: EngineConfig) -> CaseResult:
+        """Run a single configuration on a single case."""
+        engine = IC3(case.aig, config.options)
+        start = time.perf_counter()
+        outcome = engine.check(time_limit=self.timeout)
+        runtime = time.perf_counter() - start
+
+        validated = self._validate(case, outcome) if self.validate else None
+        result = CaseResult(
+            case_name=case.name,
+            config_name=config.name,
+            result=outcome.result,
+            runtime=runtime,
+            timeout=self.timeout,
+            expected=case.expected,
+            stats=outcome.stats,
+            frames=outcome.frames,
+            validated=validated,
+        )
+        if self.verbose:
+            flag = "" if result.correct else "  << WRONG"
+            print(
+                f"[harness] {config.name:14s} {case.name:30s} "
+                f"{outcome.result.value:8s} {runtime:7.2f}s{flag}"
+            )
+        return result
+
+    @staticmethod
+    def _validate(case: BenchmarkCase, outcome: CheckOutcome) -> Optional[bool]:
+        try:
+            if outcome.result == CheckResult.SAFE and outcome.certificate is not None:
+                return check_certificate(case.aig, outcome.certificate)
+            if outcome.result == CheckResult.UNSAFE and outcome.trace is not None:
+                return check_counterexample(case.aig, outcome.trace)
+        except CertificateError:
+            return False
+        return None

@@ -1,0 +1,91 @@
+"""Total/partial variable assignments.
+
+:class:`Assignment` is a small convenience wrapper used when replaying
+counterexample traces, validating certificates and writing tests.  The SAT
+solver itself uses a flat internal representation for speed; this class is
+the user-facing one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.logic.cube import Cube
+from repro.logic.literal import lit_var
+
+
+class Assignment:
+    """A mapping from variables to Boolean values."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Optional[Mapping[int, bool]] = None):
+        self._values: Dict[int, bool] = {}
+        if values:
+            for var, value in values.items():
+                self[var] = value
+
+    # -- mapping protocol ------------------------------------------------------
+    def __setitem__(self, var: int, value: bool) -> None:
+        if var <= 0:
+            raise ValueError(f"variable index must be positive, got {var}")
+        self._values[var] = bool(value)
+
+    def __getitem__(self, var: int) -> bool:
+        return self._values[var]
+
+    def __contains__(self, var: int) -> bool:
+        return var in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Assignment):
+            return NotImplemented
+        return self._values == other._values
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{v}={'1' if b else '0'}" for v, b in sorted(self._values.items()))
+        return f"Assignment({{{body}}})"
+
+    def get(self, var: int, default: Optional[bool] = None) -> Optional[bool]:
+        """Return the value of ``var`` or ``default`` if unassigned."""
+        return self._values.get(var, default)
+
+    def items(self) -> Iterable[Tuple[int, bool]]:
+        """Iterate over (variable, value) pairs."""
+        return self._values.items()
+
+    # -- literal views ------------------------------------------------------------
+    def value_of_literal(self, lit: int) -> Optional[bool]:
+        """Value of a literal under this assignment (None if unassigned)."""
+        var = lit_var(lit)
+        if var not in self._values:
+            return None
+        return self._values[var] == (lit > 0)
+
+    def satisfies_cube(self, cube: Cube) -> bool:
+        """True if every literal of the cube evaluates to True."""
+        return all(self.value_of_literal(l) is True for l in cube)
+
+    def to_cube(self, variables: Optional[Iterable[int]] = None) -> Cube:
+        """Project the assignment onto a cube over the given variables.
+
+        With ``variables=None`` all assigned variables are included.
+        """
+        if variables is None:
+            variables = self._values.keys()
+        literals = []
+        for var in variables:
+            if var in self._values:
+                literals.append(var if self._values[var] else -var)
+        return Cube(literals)
+
+    @classmethod
+    def from_cube(cls, cube: Cube) -> "Assignment":
+        """Build the partial assignment described by a cube."""
+        return cls({lit_var(l): l > 0 for l in cube})

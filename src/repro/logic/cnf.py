@@ -1,0 +1,153 @@
+"""CNF containers.
+
+A :class:`CNF` is an ordered collection of :class:`~repro.logic.cube.Clause`
+objects with helpers for variable accounting, evaluation under a total or
+partial assignment, and DIMACS text serialisation.  It is deliberately a
+thin, list-like structure: the SAT solver keeps its own internal clause
+database and IC3 keeps its own frame bookkeeping; CNF is the exchange
+format between layers (transition relations, invariants, certificates).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.logic.cube import Clause, Cube
+from repro.logic.literal import lit_var
+
+
+class CNF:
+    """A conjunction of clauses."""
+
+    def __init__(self, clauses: Iterable[Sequence[int]] = ()):
+        self._clauses: List[Clause] = []
+        for clause in clauses:
+            self.add(clause)
+
+    # -- construction --------------------------------------------------------
+    def add(self, clause: Sequence[int]) -> Clause:
+        """Add a clause (any iterable of literals) and return it."""
+        if not isinstance(clause, Clause):
+            clause = Clause(clause)
+        self._clauses.append(clause)
+        return clause
+
+    def extend(self, clauses: Iterable[Sequence[int]]) -> None:
+        """Add many clauses."""
+        for clause in clauses:
+            self.add(clause)
+
+    def add_unit(self, lit: int) -> Clause:
+        """Add a unit clause."""
+        return self.add([lit])
+
+    def copy(self) -> "CNF":
+        """Return a shallow copy (clauses are immutable)."""
+        new = CNF()
+        new._clauses = list(self._clauses)
+        return new
+
+    # -- container protocol --------------------------------------------------
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self._clauses)
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __getitem__(self, index: int) -> Clause:
+        return self._clauses[index]
+
+    def __contains__(self, clause: object) -> bool:
+        return clause in self._clauses
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CNF):
+            return NotImplemented
+        return sorted(self._clauses) == sorted(other._clauses)
+
+    def __repr__(self) -> str:
+        return f"CNF(num_clauses={len(self._clauses)}, num_vars={self.num_vars()})"
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def clauses(self) -> List[Clause]:
+        """The clause list (do not mutate)."""
+        return self._clauses
+
+    def variables(self) -> Set[int]:
+        """All variables mentioned in the formula."""
+        result: Set[int] = set()
+        for clause in self._clauses:
+            result.update(clause.variables)
+        return result
+
+    def num_vars(self) -> int:
+        """The largest variable index mentioned (0 for the empty formula)."""
+        return max((lit_var(l) for c in self._clauses for l in c), default=0)
+
+    def has_empty_clause(self) -> bool:
+        """True if the formula contains the empty (unsatisfiable) clause."""
+        return any(c.is_empty() for c in self._clauses)
+
+    # -- evaluation --------------------------------------------------------------
+    def evaluate(self, assignment: Dict[int, bool]) -> Optional[bool]:
+        """Evaluate under a (possibly partial) assignment ``var -> bool``.
+
+        Returns True/False when the value is determined, None when some
+        clause is still undecided.
+        """
+        undecided = False
+        for clause in self._clauses:
+            value = _evaluate_clause(clause, assignment)
+            if value is False:
+                return False
+            if value is None:
+                undecided = True
+        return None if undecided else True
+
+    def satisfied_by(self, cube: Cube) -> Optional[bool]:
+        """Evaluate under the partial assignment described by a cube."""
+        assignment = {lit_var(l): l > 0 for l in cube}
+        return self.evaluate(assignment)
+
+    # -- serialisation -------------------------------------------------------------
+    def to_dimacs(self, num_vars: Optional[int] = None) -> str:
+        """Render the formula in DIMACS CNF text format."""
+        n = num_vars if num_vars is not None else self.num_vars()
+        lines = [f"p cnf {n} {len(self._clauses)}"]
+        for clause in self._clauses:
+            lines.append(" ".join(str(l) for l in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "CNF":
+        """Parse a DIMACS CNF document (comments and header tolerated)."""
+        cnf = cls()
+        pending: List[int] = []
+        for raw_line in text.splitlines():
+            line = raw_line.strip()
+            if not line or line.startswith("c") or line.startswith("p"):
+                continue
+            for token in line.split():
+                lit = int(token)
+                if lit == 0:
+                    cnf.add(pending)
+                    pending = []
+                else:
+                    pending.append(lit)
+        if pending:
+            cnf.add(pending)
+        return cnf
+
+
+def _evaluate_clause(clause: Clause, assignment: Dict[int, bool]) -> Optional[bool]:
+    """Evaluate one clause under a partial assignment."""
+    undecided = False
+    for lit in clause:
+        var = lit_var(lit)
+        if var not in assignment:
+            undecided = True
+            continue
+        if assignment[var] == (lit > 0):
+            return True
+    return None if undecided else False

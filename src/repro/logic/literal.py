@@ -1,0 +1,43 @@
+"""Literal helpers.
+
+A literal is a non-zero signed integer in the DIMACS convention: the
+positive literal of variable ``v`` is ``v`` and the negative literal is
+``-v``.  Variables are numbered from 1.  These helpers exist so the rest
+of the codebase reads as intent (``lit_neg(l)``) rather than arithmetic
+(``-l``), and so malformed literals are caught early.
+"""
+
+from __future__ import annotations
+
+
+def is_valid_lit(lit: int) -> bool:
+    """Return True if ``lit`` is a well-formed literal (non-zero integer)."""
+    return isinstance(lit, int) and lit != 0
+
+
+def lit_var(lit: int) -> int:
+    """Return the variable (a positive integer) of a literal."""
+    if lit == 0:
+        raise ValueError("0 is not a literal")
+    return lit if lit > 0 else -lit
+
+
+def lit_neg(lit: int) -> int:
+    """Return the negation of a literal."""
+    if lit == 0:
+        raise ValueError("0 is not a literal")
+    return -lit
+
+
+def lit_sign(lit: int) -> bool:
+    """Return True for a positive literal, False for a negative one."""
+    if lit == 0:
+        raise ValueError("0 is not a literal")
+    return lit > 0
+
+
+def lit_from_var(var: int, positive: bool = True) -> int:
+    """Build a literal from a variable index and a polarity."""
+    if var <= 0:
+        raise ValueError(f"variable index must be positive, got {var}")
+    return var if positive else -var

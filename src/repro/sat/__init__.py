@@ -1,0 +1,25 @@
+"""A from-scratch CDCL SAT solver.
+
+The paper's IC3 implementations sit on MiniSat-class incremental solvers;
+this package provides the Python equivalent: two-watched-literal unit
+propagation, first-UIP clause learning with minimisation, VSIDS decision
+ordering with phase saving, Luby restarts, learnt-clause reduction,
+solving under assumptions, model extraction, and assumption cores (the
+``analyzeFinal`` of MiniSat) which IC3 uses to shrink predecessor cubes
+and accelerate generalization.
+"""
+
+from repro.sat.solver import Solver, SolverStats
+from repro.sat.exceptions import SolverError, ResourceBudgetExceeded
+from repro.sat.luby import luby
+from repro.sat.dimacs import parse_dimacs, write_dimacs
+
+__all__ = [
+    "Solver",
+    "SolverStats",
+    "SolverError",
+    "ResourceBudgetExceeded",
+    "luby",
+    "parse_dimacs",
+    "write_dimacs",
+]

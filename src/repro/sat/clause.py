@@ -1,0 +1,32 @@
+"""Internal clause representation used by the CDCL solver.
+
+Clauses are mutable lists of DIMACS literals; positions 0 and 1 hold the
+two watched literals.  Learnt clauses additionally carry an activity score
+used by the clause-database reduction heuristic.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class SolverClause:
+    """A clause as stored inside the solver (two-watched-literal layout)."""
+
+    __slots__ = ("lits", "learnt", "activity", "deleted")
+
+    def __init__(self, lits: List[int], learnt: bool = False):
+        self.lits: List[int] = lits
+        self.learnt: bool = learnt
+        self.activity: float = 0.0
+        self.deleted: bool = False
+
+    def __len__(self) -> int:
+        return len(self.lits)
+
+    def __iter__(self):
+        return iter(self.lits)
+
+    def __repr__(self) -> str:
+        kind = "learnt" if self.learnt else "problem"
+        return f"SolverClause({self.lits}, {kind})"

@@ -1,0 +1,63 @@
+"""DIMACS CNF parsing and writing helpers for the SAT layer.
+
+These functions are used by the command-line interface, by tests that
+cross-check the solver against brute-force enumeration, and by users who
+want to feed an externally generated CNF into the solver.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.logic.cnf import CNF
+from repro.sat.exceptions import SolverError
+from repro.sat.solver import Solver
+
+
+def parse_dimacs(text: str) -> Tuple[int, List[List[int]]]:
+    """Parse DIMACS CNF text into ``(num_vars, clauses)``."""
+    num_vars = 0
+    declared_clauses = None
+    clauses: List[List[int]] = []
+    pending: List[int] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise SolverError(f"malformed DIMACS header: {line!r}")
+            num_vars = int(parts[2])
+            declared_clauses = int(parts[3])
+            continue
+        for token in line.split():
+            lit = int(token)
+            if lit == 0:
+                clauses.append(pending)
+                pending = []
+            else:
+                pending.append(lit)
+                num_vars = max(num_vars, abs(lit))
+    if pending:
+        clauses.append(pending)
+    if declared_clauses is not None and declared_clauses != len(clauses):
+        # Tolerated: many generators emit slightly inconsistent headers.
+        pass
+    return num_vars, clauses
+
+
+def load_dimacs(path: Union[str, Path]) -> Solver:
+    """Read a DIMACS file and return a solver loaded with its clauses."""
+    num_vars, clauses = parse_dimacs(Path(path).read_text())
+    solver = Solver()
+    solver.ensure_var(max(num_vars, 1))
+    for clause in clauses:
+        solver.add_clause(clause)
+    return solver
+
+
+def write_dimacs(cnf: CNF, path: Union[str, Path]) -> None:
+    """Write a :class:`~repro.logic.cnf.CNF` to a DIMACS file."""
+    Path(path).write_text(cnf.to_dimacs())

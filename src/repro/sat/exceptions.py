@@ -1,0 +1,16 @@
+"""Exceptions raised by the SAT layer."""
+
+from __future__ import annotations
+
+
+class SolverError(Exception):
+    """Malformed input or misuse of the solver API."""
+
+
+class ResourceBudgetExceeded(SolverError):
+    """Raised when a per-call conflict or propagation budget is exhausted.
+
+    IC3 uses budgets to keep single SAT queries from starving the overall
+    time limit; the engine treats the exception as "unknown" and falls back
+    to a safe default for the current step.
+    """

@@ -1,0 +1,26 @@
+"""The Luby restart sequence.
+
+The sequence 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ... multiplied by
+a base interval is the standard restart schedule of modern CDCL solvers; it
+is provably within a logarithmic factor of the optimal universal strategy.
+The implementation follows MiniSat's ``luby()``.
+"""
+
+from __future__ import annotations
+
+
+def luby(index: int) -> int:
+    """Return the ``index``-th element (0-based) of the Luby sequence."""
+    if index < 0:
+        raise ValueError(f"index must be non-negative, got {index}")
+    # Find the finite subsequence that contains this index and its size.
+    size = 1
+    seq = 0
+    while size < index + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != index:
+        size = (size - 1) >> 1
+        seq -= 1
+        index = index % size
+    return 1 << seq

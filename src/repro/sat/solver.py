@@ -1,0 +1,614 @@
+"""A CDCL SAT solver with assumptions, models and assumption cores.
+
+The design follows MiniSat 2.2: two-watched-literal propagation, first-UIP
+conflict analysis with clause minimisation, VSIDS variable activities with
+phase saving, Luby restarts and learnt-clause database reduction.  The
+external interface works directly with DIMACS-style signed integer
+literals, which is what the rest of the library (CNF encoding, IC3) uses.
+
+Typical use::
+
+    solver = Solver()
+    solver.add_clause([1, 2])
+    solver.add_clause([-1, 3])
+    if solver.solve(assumptions=[-3]):
+        model = solver.get_model()
+    else:
+        core = solver.unsat_core()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.logic.cube import Cube
+from repro.sat.clause import SolverClause
+from repro.sat.exceptions import ResourceBudgetExceeded, SolverError
+from repro.sat.heap import VarOrderHeap
+from repro.sat.luby import luby
+
+_UNDEF = 0
+_TRUE = 1
+_FALSE = -1
+
+
+@dataclass
+class SolverStats:
+    """Counters accumulated over the lifetime of a solver instance."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    learnt_clauses: int = 0
+    removed_clauses: int = 0
+    solve_calls: int = 0
+    max_decision_level: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the statistics as a plain dictionary."""
+        return {
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "conflicts": self.conflicts,
+            "restarts": self.restarts,
+            "learnt_clauses": self.learnt_clauses,
+            "removed_clauses": self.removed_clauses,
+            "solve_calls": self.solve_calls,
+            "max_decision_level": self.max_decision_level,
+        }
+
+
+class Solver:
+    """Incremental CDCL SAT solver over DIMACS integer literals."""
+
+    def __init__(
+        self,
+        var_decay: float = 0.95,
+        clause_decay: float = 0.999,
+        restart_base: int = 100,
+        max_learnt_factor: float = 1.0 / 3.0,
+        learnt_growth: float = 1.1,
+    ):
+        if not 0.0 < var_decay <= 1.0:
+            raise SolverError(f"var_decay must be in (0, 1], got {var_decay}")
+        if not 0.0 < clause_decay <= 1.0:
+            raise SolverError(f"clause_decay must be in (0, 1], got {clause_decay}")
+        self._var_decay = var_decay
+        self._clause_decay = clause_decay
+        self._restart_base = restart_base
+        self._max_learnt_factor = max_learnt_factor
+        self._learnt_growth = learnt_growth
+
+        self._num_vars = 0
+        self._assigns: List[int] = [_UNDEF]          # index 0 unused
+        self._level: List[int] = [0]
+        self._reason: List[Optional[SolverClause]] = [None]
+        self._polarity: List[bool] = [False]
+        self._activity: List[float] = [0.0]
+        self._seen: List[int] = [0]
+        self._watches: List[List[SolverClause]] = [[], []]
+
+        self._clauses: List[SolverClause] = []
+        self._learnts: List[SolverClause] = []
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+
+        self._order = VarOrderHeap(lambda v: self._activity[v])
+        self._var_inc = 1.0
+        self._cla_inc = 1.0
+        self._max_learnts = 1000.0
+
+        self._ok = True
+        self._model: Optional[List[int]] = None
+        self._conflict_core: Optional[List[int]] = None
+        self._assumptions: List[int] = []
+
+        self.stats = SolverStats()
+
+    # ------------------------------------------------------------------
+    # Variable and clause creation
+    # ------------------------------------------------------------------
+    @property
+    def num_vars(self) -> int:
+        """Number of variables known to the solver."""
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of problem (non-learnt) clauses."""
+        return len(self._clauses)
+
+    @property
+    def num_learnts(self) -> int:
+        """Number of learnt clauses currently kept."""
+        return len(self._learnts)
+
+    def new_var(self) -> int:
+        """Create a fresh variable and return its index."""
+        self._num_vars += 1
+        var = self._num_vars
+        self._assigns.append(_UNDEF)
+        self._level.append(0)
+        self._reason.append(None)
+        self._polarity.append(False)
+        self._activity.append(0.0)
+        self._seen.append(0)
+        self._watches.append([])
+        self._watches.append([])
+        self._order.insert(var)
+        return var
+
+    def ensure_var(self, var: int) -> None:
+        """Make sure variable ``var`` (and all below it) exists."""
+        if var <= 0:
+            raise SolverError(f"variable index must be positive, got {var}")
+        while self._num_vars < var:
+            self.new_var()
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a problem clause.
+
+        Returns False if the solver becomes (or already was) trivially
+        unsatisfiable at decision level 0, True otherwise.
+        """
+        if self._trail_lim:
+            raise SolverError("add_clause must be called at decision level 0")
+        if not self._ok:
+            return False
+
+        lits = sorted({int(l) for l in literals}, key=abs)
+        if any(l == 0 for l in lits):
+            raise SolverError("0 is not a valid literal")
+        for lit in lits:
+            self.ensure_var(abs(lit))
+
+        # Simplify: drop tautologies and literals already false at level 0.
+        simplified: List[int] = []
+        lit_set = set(lits)
+        for lit in lits:
+            if -lit in lit_set:
+                return True  # tautology, trivially satisfied
+            value = self._lit_value(lit)
+            if value == _TRUE:
+                return True  # already satisfied at level 0
+            if value == _FALSE:
+                continue
+            simplified.append(lit)
+
+        if not simplified:
+            self._ok = False
+            return False
+        if len(simplified) == 1:
+            self._unchecked_enqueue(simplified[0], None)
+            self._ok = self._propagate() is None
+            return self._ok
+
+        clause = SolverClause(simplified, learnt=False)
+        self._clauses.append(clause)
+        self._attach(clause)
+        return True
+
+    def add_cube_as_units(self, cube: Cube) -> bool:
+        """Add each literal of a cube as a unit clause."""
+        for lit in cube:
+            if not self.add_clause([lit]):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_budget: Optional[int] = None,
+    ) -> bool:
+        """Solve under assumptions; returns True (SAT) or False (UNSAT).
+
+        Raises :class:`ResourceBudgetExceeded` if ``conflict_budget``
+        conflicts were reached before a verdict.
+        """
+        result = self.solve_limited(assumptions, conflict_budget)
+        if result is None:
+            raise ResourceBudgetExceeded(
+                f"conflict budget of {conflict_budget} exhausted"
+            )
+        return result
+
+    def solve_limited(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_budget: Optional[int] = None,
+    ) -> Optional[bool]:
+        """Like :meth:`solve`, but returns None when the budget is exhausted."""
+        self.stats.solve_calls += 1
+        self._model = None
+        self._conflict_core = None
+        self._cancel_until(0)
+        if not self._ok:
+            self._conflict_core = []
+            return False
+
+        self._assumptions = [int(l) for l in assumptions]
+        for lit in self._assumptions:
+            if lit == 0:
+                raise SolverError("0 is not a valid assumption literal")
+            self.ensure_var(abs(lit))
+
+        self._max_learnts = max(
+            1000.0, len(self._clauses) * self._max_learnt_factor
+        )
+        budget_left = conflict_budget
+        restart_round = 0
+        status: Optional[bool] = None
+        while status is None:
+            restart_limit = self._restart_base * luby(restart_round)
+            if budget_left is not None:
+                if budget_left <= 0:
+                    break
+                restart_limit = min(restart_limit, budget_left)
+            before = self.stats.conflicts
+            status = self._search(restart_limit)
+            used = self.stats.conflicts - before
+            if budget_left is not None:
+                budget_left -= used
+            restart_round += 1
+            self._max_learnts *= self._learnt_growth
+
+        self._cancel_until(0)
+        return status
+
+    def get_model(self) -> Dict[int, bool]:
+        """Return the last model as a ``var -> bool`` mapping."""
+        if self._model is None:
+            raise SolverError("no model available (last call was not SAT)")
+        return {
+            var: value == _TRUE
+            for var, value in enumerate(self._model)
+            if var > 0 and value != _UNDEF
+        }
+
+    def model_value(self, lit: int) -> Optional[bool]:
+        """Value of a literal in the last model (None if unassigned)."""
+        if self._model is None:
+            raise SolverError("no model available (last call was not SAT)")
+        var = abs(lit)
+        if var >= len(self._model) or self._model[var] == _UNDEF:
+            return None
+        return (self._model[var] == _TRUE) == (lit > 0)
+
+    def model_cube(self, variables: Iterable[int]) -> Cube:
+        """Project the last model onto a cube over the given variables."""
+        literals = []
+        for var in variables:
+            value = self.model_value(var)
+            if value is None:
+                # Unconstrained variable: pick the saved phase arbitrarily.
+                value = False
+            literals.append(var if value else -var)
+        return Cube(literals)
+
+    def unsat_core(self) -> List[int]:
+        """Subset of the assumptions responsible for the last UNSAT answer."""
+        if self._conflict_core is None:
+            raise SolverError("no unsat core available (last call was not UNSAT)")
+        return list(self._conflict_core)
+
+    def is_consistent(self) -> bool:
+        """False once the clause set is unsatisfiable at level 0."""
+        return self._ok
+
+    # ------------------------------------------------------------------
+    # Internal machinery
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _lit_index(lit: int) -> int:
+        return (abs(lit) << 1) | (lit < 0)
+
+    def _lit_value(self, lit: int) -> int:
+        value = self._assigns[abs(lit)]
+        if value == _UNDEF:
+            return _UNDEF
+        return value if lit > 0 else -value
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _attach(self, clause: SolverClause) -> None:
+        lits = clause.lits
+        self._watches[self._lit_index(lits[0])].append(clause)
+        self._watches[self._lit_index(lits[1])].append(clause)
+
+    def _detach(self, clause: SolverClause) -> None:
+        lits = clause.lits
+        for lit in (lits[0], lits[1]):
+            watch_list = self._watches[self._lit_index(lit)]
+            try:
+                watch_list.remove(clause)
+            except ValueError:
+                pass
+
+    def _new_decision_level(self) -> None:
+        self._trail_lim.append(len(self._trail))
+        depth = len(self._trail_lim)
+        if depth > self.stats.max_decision_level:
+            self.stats.max_decision_level = depth
+
+    def _unchecked_enqueue(self, lit: int, reason: Optional[SolverClause]) -> None:
+        var = abs(lit)
+        self._assigns[var] = _TRUE if lit > 0 else _FALSE
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._trail.append(lit)
+
+    def _cancel_until(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        boundary = self._trail_lim[level]
+        for i in range(len(self._trail) - 1, boundary - 1, -1):
+            lit = self._trail[i]
+            var = abs(lit)
+            self._polarity[var] = lit > 0
+            self._assigns[var] = _UNDEF
+            self._reason[var] = None
+            self._order.insert(var)
+        del self._trail[boundary:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    def _propagate(self) -> Optional[SolverClause]:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self._qhead < len(self._trail):
+            p = self._trail[self._qhead]
+            self._qhead += 1
+            self.stats.propagations += 1
+            neg_p = -p
+            watch_list = self._watches[self._lit_index(neg_p)]
+            keep: List[SolverClause] = []
+            conflict: Optional[SolverClause] = None
+            for idx, clause in enumerate(watch_list):
+                if conflict is not None:
+                    keep.append(clause)
+                    continue
+                lits = clause.lits
+                if lits[0] == neg_p:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._lit_value(first) == _TRUE:
+                    keep.append(clause)
+                    continue
+                moved = False
+                for k in range(2, len(lits)):
+                    if self._lit_value(lits[k]) != _FALSE:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches[self._lit_index(lits[1])].append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                keep.append(clause)
+                if self._lit_value(first) == _FALSE:
+                    conflict = clause
+                else:
+                    self._unchecked_enqueue(first, clause)
+            if len(keep) != len(watch_list):
+                self._watches[self._lit_index(neg_p)] = keep
+            if conflict is not None:
+                self._qhead = len(self._trail)
+                return conflict
+        return None
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+        self._order.update(var)
+
+    def _decay_var_activity(self) -> None:
+        self._var_inc /= self._var_decay
+
+    def _bump_clause(self, clause: SolverClause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for learnt in self._learnts:
+                learnt.activity *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _decay_clause_activity(self) -> None:
+        self._cla_inc /= self._clause_decay
+
+    def _analyze(self, conflict: SolverClause) -> (List[int], int):
+        """First-UIP conflict analysis; returns (learnt clause, backtrack level)."""
+        learnt: List[int] = [0]  # position 0 reserved for the asserting literal
+        seen = self._seen
+        path_count = 0
+        p: Optional[int] = None
+        index = len(self._trail) - 1
+        current_level = self._decision_level()
+        to_clear: List[int] = []
+
+        clause: Optional[SolverClause] = conflict
+        while True:
+            assert clause is not None
+            if clause.learnt:
+                self._bump_clause(clause)
+            start = 0 if p is None else 1
+            for lit in clause.lits[start:]:
+                var = abs(lit)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = 1
+                    to_clear.append(var)
+                    self._bump_var(var)
+                    if self._level[var] >= current_level:
+                        path_count += 1
+                    else:
+                        learnt.append(lit)
+            while not seen[abs(self._trail[index])]:
+                index -= 1
+            p = self._trail[index]
+            index -= 1
+            clause = self._reason[abs(p)]
+            seen[abs(p)] = 0
+            path_count -= 1
+            if path_count == 0:
+                break
+        learnt[0] = -p
+
+        # Clause minimisation: drop literals implied by the rest of the clause.
+        minimized = [learnt[0]]
+        for lit in learnt[1:]:
+            if not self._literal_redundant(lit):
+                minimized.append(lit)
+        learnt = minimized
+
+        for var in to_clear:
+            seen[var] = 0
+
+        if len(learnt) == 1:
+            backtrack_level = 0
+        else:
+            max_index = 1
+            for i in range(2, len(learnt)):
+                if self._level[abs(learnt[i])] > self._level[abs(learnt[max_index])]:
+                    max_index = i
+            learnt[1], learnt[max_index] = learnt[max_index], learnt[1]
+            backtrack_level = self._level[abs(learnt[1])]
+        return learnt, backtrack_level
+
+    def _literal_redundant(self, lit: int) -> bool:
+        """Local minimisation: is ``lit`` implied by the other learnt literals?"""
+        reason = self._reason[abs(lit)]
+        if reason is None:
+            return False
+        for other in reason.lits:
+            if abs(other) == abs(lit):
+                continue
+            var = abs(other)
+            if not self._seen[var] and self._level[var] > 0:
+                return False
+        return True
+
+    def _analyze_final(self, failed_lit: int) -> List[int]:
+        """Express the falsification of ``failed_lit`` in terms of assumptions.
+
+        Returns the subset of the current assumptions responsible.
+        """
+        responsible = {-failed_lit}
+        if self._decision_level() == 0:
+            return self._core_from_negations(responsible)
+        seen = self._seen
+        marked: List[int] = [abs(failed_lit)]
+        seen[abs(failed_lit)] = 1
+        for i in range(len(self._trail) - 1, self._trail_lim[0] - 1, -1):
+            lit = self._trail[i]
+            var = abs(lit)
+            if not seen[var]:
+                continue
+            reason = self._reason[var]
+            if reason is None:
+                responsible.add(-lit)
+            else:
+                for other in reason.lits[1:]:
+                    other_var = abs(other)
+                    if self._level[other_var] > 0 and not seen[other_var]:
+                        seen[other_var] = 1
+                        marked.append(other_var)
+            seen[var] = 0
+        for var in marked:
+            seen[var] = 0
+        return self._core_from_negations(responsible)
+
+    def _core_from_negations(self, negations: Iterable[int]) -> List[int]:
+        assumption_set = set(self._assumptions)
+        return [-lit for lit in negations if -lit in assumption_set]
+
+    def _record_learnt(self, learnt: List[int]) -> None:
+        if len(learnt) == 1:
+            self._unchecked_enqueue(learnt[0], None)
+            return
+        clause = SolverClause(list(learnt), learnt=True)
+        self._learnts.append(clause)
+        self._attach(clause)
+        self._bump_clause(clause)
+        self.stats.learnt_clauses += 1
+        self._unchecked_enqueue(learnt[0], clause)
+
+    def _reduce_db(self) -> None:
+        """Remove roughly half of the least active, non-locked learnt clauses."""
+        self._learnts.sort(key=lambda c: (len(c.lits) <= 2, c.activity))
+        keep: List[SolverClause] = []
+        limit = len(self._learnts) // 2
+        for i, clause in enumerate(self._learnts):
+            locked = self._reason[abs(clause.lits[0])] is clause
+            if i < limit and len(clause.lits) > 2 and not locked:
+                self._detach(clause)
+                clause.deleted = True
+                self.stats.removed_clauses += 1
+            else:
+                keep.append(clause)
+        self._learnts = keep
+
+    def _pick_branch_literal(self) -> Optional[int]:
+        while not self._order.is_empty():
+            var = self._order.pop_max()
+            if self._assigns[var] == _UNDEF:
+                return var if self._polarity[var] else -var
+        return None
+
+    def _search(self, conflict_limit: int) -> Optional[bool]:
+        """Run CDCL search until SAT, UNSAT or ``conflict_limit`` conflicts."""
+        local_conflicts = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                local_conflicts += 1
+                if self._decision_level() == 0:
+                    self._ok = False
+                    self._conflict_core = []
+                    return False
+                learnt, backtrack_level = self._analyze(conflict)
+                self._cancel_until(backtrack_level)
+                self._record_learnt(learnt)
+                self._decay_var_activity()
+                self._decay_clause_activity()
+                continue
+
+            if local_conflicts >= conflict_limit:
+                self.stats.restarts += 1
+                self._cancel_until(0)
+                return None
+
+            if len(self._learnts) - len(self._trail) >= self._max_learnts:
+                self._reduce_db()
+
+            next_lit: Optional[int] = None
+            while self._decision_level() < len(self._assumptions):
+                assumption = self._assumptions[self._decision_level()]
+                value = self._lit_value(assumption)
+                if value == _TRUE:
+                    self._new_decision_level()
+                elif value == _FALSE:
+                    self._conflict_core = self._analyze_final(assumption)
+                    return False
+                else:
+                    next_lit = assumption
+                    break
+
+            if next_lit is None:
+                next_lit = self._pick_branch_literal()
+                if next_lit is None:
+                    self._save_model()
+                    return True
+                self.stats.decisions += 1
+
+            self._new_decision_level()
+            self._unchecked_enqueue(next_lit, None)
+
+    def _save_model(self) -> None:
+        self._model = list(self._assigns)

@@ -1,0 +1,241 @@
+"""Transition-system encoding of an AIG.
+
+The encoding allocates one CNF variable per AIG input, latch and AND gate
+(the *current-state* copy), plus one primed variable per latch (the
+*next-state* copy), and emits:
+
+* Tseitin clauses defining every AND gate over current-state variables;
+* equivalence clauses tying each primed latch variable to the latch's
+  next-state function;
+* unit clauses for invariant constraints (assumed every step);
+* a ``bad`` literal — the property is ``G !bad``.
+
+IC3, BMC and k-induction all consume this object; it is also the oracle
+used to validate invariant certificates and counterexample traces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.aiger.aig import AIG, FALSE_LIT, TRUE_LIT
+from repro.logic.cnf import CNF
+from repro.logic.cube import Clause, Cube
+
+
+class EncodingError(Exception):
+    """Raised when an AIG cannot be encoded (e.g. no bad/output literal)."""
+
+
+class TransitionSystem:
+    """Boolean transition system ⟨X, Y, I, T⟩ derived from an AIG."""
+
+    def __init__(self, aig: AIG, property_index: int = 0, use_outputs_as_bad: bool = True):
+        aig.validate()
+        self.aig = aig
+        bads = list(aig.bads)
+        if not bads and use_outputs_as_bad:
+            bads = list(aig.outputs)
+        if not bads:
+            raise EncodingError("the AIG declares neither bad states nor outputs")
+        if not 0 <= property_index < len(bads):
+            raise EncodingError(
+                f"property index {property_index} out of range (have {len(bads)})"
+            )
+        self._bad_aig_lit = bads[property_index]
+
+        self._next_solver_var = 0
+        self._current_of_aig_var: Dict[int, int] = {}
+
+        # Constant TRUE variable (needed when the AIG uses literals 0/1).
+        self._const_true = self._fresh_var()
+
+        self.input_vars: List[int] = [self._map_aig_var(lit >> 1) for lit in aig.inputs]
+        self.latch_vars: List[int] = [self._map_aig_var(l.lit >> 1) for l in aig.latches]
+        self._gate_vars: List[int] = [self._map_aig_var(g.lhs >> 1) for g in aig.ands]
+
+        self.primed_of: Dict[int, int] = {}
+        self.unprimed_of: Dict[int, int] = {}
+        for var in self.latch_vars:
+            primed = self._fresh_var()
+            self.primed_of[var] = primed
+            self.unprimed_of[primed] = var
+
+        self.trans = CNF()
+        self.trans.add_unit(self._const_true)
+        self._encode_gates()
+        self._encode_next_state()
+        self._encode_constraints()
+
+        self.bad_lit = self.to_solver_lit(self._bad_aig_lit)
+        self.init_cube = self._build_init_cube()
+        self._init_value: Dict[int, bool] = {
+            abs(l): l > 0 for l in self.init_cube
+        }
+
+    # ------------------------------------------------------------------
+    # Variable bookkeeping
+    # ------------------------------------------------------------------
+    def _fresh_var(self) -> int:
+        self._next_solver_var += 1
+        return self._next_solver_var
+
+    def _map_aig_var(self, aig_var: int) -> int:
+        existing = self._current_of_aig_var.get(aig_var)
+        if existing is not None:
+            return existing
+        var = self._fresh_var()
+        self._current_of_aig_var[aig_var] = var
+        return var
+
+    @property
+    def num_vars(self) -> int:
+        """Number of solver variables allocated by the encoding."""
+        return self._next_solver_var
+
+    @property
+    def state_variables(self) -> List[int]:
+        """The current-state (latch) variables X."""
+        return list(self.latch_vars)
+
+    @property
+    def next_state_variables(self) -> List[int]:
+        """The next-state (primed latch) variables X'."""
+        return [self.primed_of[v] for v in self.latch_vars]
+
+    def to_solver_lit(self, aig_lit: int) -> int:
+        """Translate an AIG literal to a solver literal over current vars."""
+        if aig_lit == FALSE_LIT:
+            return -self._const_true
+        if aig_lit == TRUE_LIT:
+            return self._const_true
+        var = self._current_of_aig_var[aig_lit >> 1]
+        return -var if aig_lit & 1 else var
+
+    def prime_lit(self, lit: int) -> int:
+        """Translate a current-state latch literal to its primed copy."""
+        var = abs(lit)
+        primed = self.primed_of.get(var)
+        if primed is None:
+            raise EncodingError(f"variable {var} is not a latch variable")
+        return primed if lit > 0 else -primed
+
+    def unprime_lit(self, lit: int) -> int:
+        """Translate a primed latch literal back to the current-state copy."""
+        var = abs(lit)
+        unprimed = self.unprimed_of.get(var)
+        if unprimed is None:
+            raise EncodingError(f"variable {var} is not a primed latch variable")
+        return unprimed if lit > 0 else -unprimed
+
+    def prime_cube(self, cube: Cube) -> Cube:
+        """Prime every literal of a cube over latch variables."""
+        return Cube(self.prime_lit(l) for l in cube)
+
+    def prime_clause(self, clause: Clause) -> Clause:
+        """Prime every literal of a clause over latch variables."""
+        return Clause(self.prime_lit(l) for l in clause)
+
+    def unprime_cube(self, cube: Cube) -> Cube:
+        """Map a cube over primed variables back to current-state variables."""
+        return Cube(self.unprime_lit(l) for l in cube)
+
+    def is_state_lit(self, lit: int) -> bool:
+        """True if the literal ranges over a current-state latch variable."""
+        return abs(lit) in self.primed_of
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def _encode_gates(self) -> None:
+        for gate in self.aig.ands:
+            out = self.to_solver_lit(gate.lhs)
+            a = self.to_solver_lit(gate.rhs0)
+            b = self.to_solver_lit(gate.rhs1)
+            self.trans.add([-out, a])
+            self.trans.add([-out, b])
+            self.trans.add([out, -a, -b])
+
+    def _encode_next_state(self) -> None:
+        for latch in self.aig.latches:
+            current = self.to_solver_lit(latch.lit)
+            primed = self.prime_lit(current)
+            next_lit = self.to_solver_lit(latch.next)
+            self.trans.add([-primed, next_lit])
+            self.trans.add([primed, -next_lit])
+
+    def _encode_constraints(self) -> None:
+        for constraint in self.aig.constraints:
+            self.trans.add_unit(self.to_solver_lit(constraint))
+
+    def _build_init_cube(self) -> Cube:
+        literals = []
+        for latch in self.aig.latches:
+            if latch.init is None:
+                continue
+            var = self.to_solver_lit(latch.lit)
+            literals.append(var if latch.init == 1 else -var)
+        return Cube(literals)
+
+    # ------------------------------------------------------------------
+    # Initial-state reasoning
+    # ------------------------------------------------------------------
+    def cube_intersects_init(self, cube: Cube) -> bool:
+        """True if some initial state satisfies the cube.
+
+        Because the initial condition is a cube over (a subset of) latch
+        variables, this is a purely syntactic check: the cube intersects the
+        initial states iff none of its literals contradicts the reset value
+        of an initialised latch.
+        """
+        for lit in cube:
+            expected = self._init_value.get(abs(lit))
+            if expected is not None and (lit > 0) != expected:
+                return False
+        return True
+
+    def clause_holds_on_init(self, clause: Clause) -> bool:
+        """True if ``I ⇒ clause`` (the lemma excludes no initial state)."""
+        return not self.cube_intersects_init(clause.negate())
+
+    def init_clauses(self) -> CNF:
+        """The initial condition as unit clauses (frame 0 of IC3)."""
+        cnf = CNF()
+        for lit in self.init_cube:
+            cnf.add_unit(lit)
+        return cnf
+
+    # ------------------------------------------------------------------
+    # Trace replay
+    # ------------------------------------------------------------------
+    def input_assignment_from_model(self, model: Dict[int, bool]) -> Dict[int, bool]:
+        """Project a solver model onto the AIG's input literals."""
+        assignment: Dict[int, bool] = {}
+        for aig_lit, var in zip(self.aig.inputs, self.input_vars):
+            assignment[aig_lit] = bool(model.get(var, False))
+        return assignment
+
+    def state_cube_from_model(self, model: Dict[int, bool], primed: bool = False) -> Cube:
+        """Project a solver model onto a cube over the latch variables."""
+        literals = []
+        for var in self.latch_vars:
+            source = self.primed_of[var] if primed else var
+            value = model.get(source, False)
+            literals.append(var if value else -var)
+        return Cube(literals)
+
+    def input_cube_from_model(self, model: Dict[int, bool]) -> Cube:
+        """Project a solver model onto a cube over the input variables."""
+        literals = []
+        for var in self.input_vars:
+            value = model.get(var, False)
+            literals.append(var if value else -var)
+        return Cube(literals)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"TransitionSystem(latches={len(self.latch_vars)}, "
+            f"inputs={len(self.input_vars)}, gates={len(self._gate_vars)}, "
+            f"trans_clauses={len(self.trans)})"
+        )

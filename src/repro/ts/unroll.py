@@ -1,0 +1,116 @@
+"""Time-frame unrolling of an AIG for BMC and k-induction.
+
+The :class:`Unroller` lazily instantiates a fresh copy of the circuit's
+combinational logic for each time frame and adds the frame-to-frame latch
+connection clauses directly into a SAT solver.  ``lit_at(aig_lit, frame)``
+returns the solver literal that represents an AIG literal at a given time
+frame, so callers can constrain inputs, assert bad cones, or read back
+concrete traces from a model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.aiger.aig import AIG, FALSE_LIT, TRUE_LIT
+from repro.logic.cube import Cube
+from repro.sat.solver import Solver
+
+
+class Unroller:
+    """Incrementally unrolls an AIG into a SAT solver."""
+
+    def __init__(self, aig: AIG, solver: Optional[Solver] = None, use_init: bool = True):
+        aig.validate()
+        self.aig = aig
+        self.solver = solver if solver is not None else Solver()
+        self.use_init = use_init
+        self._frames: List[Dict[int, int]] = []  # frame -> {aig_var -> solver var}
+        self._const_true = self.solver.new_var()
+        self.solver.add_clause([self._const_true])
+
+    @property
+    def num_frames(self) -> int:
+        """Number of time frames instantiated so far."""
+        return len(self._frames)
+
+    # ------------------------------------------------------------------
+    # Literal mapping
+    # ------------------------------------------------------------------
+    def lit_at(self, aig_lit: int, frame: int) -> int:
+        """Solver literal for ``aig_lit`` at time ``frame`` (frames from 0)."""
+        while self.num_frames <= frame:
+            self._add_frame()
+        if aig_lit == FALSE_LIT:
+            return -self._const_true
+        if aig_lit == TRUE_LIT:
+            return self._const_true
+        var = self._frames[frame][aig_lit >> 1]
+        return -var if aig_lit & 1 else var
+
+    def latch_cube_at(self, model: Dict[int, bool], frame: int) -> Cube:
+        """Project a model onto the latch values at a frame."""
+        literals = []
+        for latch in self.aig.latches:
+            lit = self.lit_at(latch.lit, frame)
+            value = model.get(abs(lit), False)
+            if lit < 0:
+                value = not value
+            literals.append(abs(lit) if value else -abs(lit))
+        return Cube(literals)
+
+    def input_values_at(self, model: Dict[int, bool], frame: int) -> Dict[int, bool]:
+        """Project a model onto the AIG input literals at a frame."""
+        values: Dict[int, bool] = {}
+        for aig_lit in self.aig.inputs:
+            lit = self.lit_at(aig_lit, frame)
+            value = model.get(abs(lit), False)
+            values[aig_lit] = (not value) if lit < 0 else value
+        return values
+
+    # ------------------------------------------------------------------
+    # Frame construction
+    # ------------------------------------------------------------------
+    def _add_frame(self) -> None:
+        frame_index = len(self._frames)
+        var_map: Dict[int, int] = {}
+        for aig_lit in self.aig.inputs:
+            var_map[aig_lit >> 1] = self.solver.new_var()
+        for latch in self.aig.latches:
+            var_map[latch.lit >> 1] = self.solver.new_var()
+        for gate in self.aig.ands:
+            var_map[gate.lhs >> 1] = self.solver.new_var()
+        self._frames.append(var_map)
+
+        # Combinational logic of this frame.
+        for gate in self.aig.ands:
+            out = self.lit_at(gate.lhs, frame_index)
+            a = self.lit_at(gate.rhs0, frame_index)
+            b = self.lit_at(gate.rhs1, frame_index)
+            self.solver.add_clause([-out, a])
+            self.solver.add_clause([-out, b])
+            self.solver.add_clause([out, -a, -b])
+
+        # Invariant constraints hold on every frame.
+        for constraint in self.aig.constraints:
+            self.solver.add_clause([self.lit_at(constraint, frame_index)])
+
+        if frame_index == 0:
+            if self.use_init:
+                for latch in self.aig.latches:
+                    if latch.init is None:
+                        continue
+                    lit = self.lit_at(latch.lit, 0)
+                    self.solver.add_clause([lit if latch.init == 1 else -lit])
+        else:
+            # Latch at frame k equals its next-state function at frame k-1.
+            for latch in self.aig.latches:
+                now = self.lit_at(latch.lit, frame_index)
+                prev_next = self.lit_at(latch.next, frame_index - 1)
+                self.solver.add_clause([-now, prev_next])
+                self.solver.add_clause([now, -prev_next])
+
+    def bad_lit_at(self, frame: int, property_index: int = 0) -> int:
+        """Solver literal of the bad cone (or first output) at a frame."""
+        bads = self.aig.bads if self.aig.bads else self.aig.outputs
+        return self.lit_at(bads[property_index], frame)

@@ -1,0 +1,135 @@
+"""Tests for AIGER reading and writing (ASCII and binary)."""
+
+import pytest
+
+from repro.aiger import (
+    AIG,
+    AigerError,
+    parse_aiger,
+    read_aiger,
+    to_aag_string,
+    write_aag,
+    write_aig,
+)
+from repro.aiger.writer import to_aig_bytes
+from repro.benchgen import token_ring, fifo_controller
+
+
+def _example_aig():
+    aig = AIG(comment="example")
+    enable = aig.add_input("enable")
+    latch = aig.add_latch(init=0, name="state")
+    aig.set_latch_next(latch, aig.xor_gate(latch, enable))
+    aig.add_bad(latch)
+    aig.add_output(aig.negate(latch))
+    return aig
+
+
+def _equivalent_behaviour(a, b, steps=6):
+    """Compare two AIGs by simulating the same input sequence."""
+    assert a.num_inputs == b.num_inputs
+    assert a.num_latches == b.num_latches
+    sequence_a = [
+        {lit: bool((step + i) % 2) for i, lit in enumerate(a.inputs)}
+        for step in range(steps)
+    ]
+    sequence_b = [
+        {lit: bool((step + i) % 2) for i, lit in enumerate(b.inputs)}
+        for step in range(steps)
+    ]
+    trace_a = a.simulate(sequence_a)
+    trace_b = b.simulate(sequence_b)
+    for ra, rb in zip(trace_a, trace_b):
+        assert ra["bads"] == rb["bads"]
+        assert ra["outputs"] == rb["outputs"]
+
+
+class TestAsciiFormat:
+    def test_roundtrip_preserves_structure(self):
+        aig = _example_aig()
+        parsed = parse_aiger(to_aag_string(aig))
+        assert parsed.num_inputs == aig.num_inputs
+        assert parsed.num_latches == aig.num_latches
+        assert parsed.num_ands == aig.num_ands
+        assert parsed.bads == aig.bads
+        assert parsed.outputs == aig.outputs
+
+    def test_roundtrip_preserves_behaviour(self):
+        aig = _example_aig()
+        _equivalent_behaviour(aig, parse_aiger(to_aag_string(aig)))
+
+    def test_symbol_table_roundtrip(self):
+        aig = _example_aig()
+        parsed = parse_aiger(to_aag_string(aig))
+        assert parsed.input_name(parsed.inputs[0]) == "enable"
+        assert parsed.latches[0].name == "state"
+
+    def test_comment_roundtrip(self):
+        parsed = parse_aiger(to_aag_string(_example_aig()))
+        assert parsed.comment == "example"
+
+    def test_write_and_read_file(self, tmp_path):
+        aig = _example_aig()
+        path = tmp_path / "model.aag"
+        write_aag(aig, path)
+        _equivalent_behaviour(aig, read_aiger(path))
+
+    def test_header_counts(self):
+        text = to_aag_string(_example_aig())
+        header = text.splitlines()[0].split()
+        assert header[0] == "aag"
+        assert header[2] == "1"  # inputs
+        assert header[3] == "1"  # latches
+
+    def test_latch_reset_values(self):
+        aig = AIG()
+        l0 = aig.add_latch(init=0)
+        l1 = aig.add_latch(init=1)
+        lx = aig.add_latch(init=None)
+        for latch in (l0, l1, lx):
+            aig.set_latch_next(latch, latch)
+        aig.add_output(l0)
+        parsed = parse_aiger(to_aag_string(aig))
+        assert parsed.latches[0].init == 0
+        assert parsed.latches[1].init == 1
+        assert parsed.latches[2].init is None
+
+    def test_not_aiger_rejected(self):
+        with pytest.raises(AigerError):
+            parse_aiger("hello world")
+
+    def test_malformed_header_rejected(self):
+        with pytest.raises(AigerError):
+            parse_aiger("aag 1\n")
+
+    def test_truncated_document_rejected(self):
+        with pytest.raises(AigerError):
+            parse_aiger("aag 3 1 1 1 0\n2\n")
+
+
+class TestBinaryFormat:
+    def test_roundtrip_behaviour(self):
+        aig = _example_aig()
+        parsed = parse_aiger(to_aig_bytes(aig))
+        _equivalent_behaviour(aig, parsed)
+
+    def test_roundtrip_of_generated_benchmarks(self):
+        for case in (token_ring(4), fifo_controller(3)):
+            parsed = parse_aiger(to_aig_bytes(case.aig))
+            _equivalent_behaviour(case.aig, parsed)
+
+    def test_write_and_read_file(self, tmp_path):
+        aig = _example_aig()
+        path = tmp_path / "model.aig"
+        write_aig(aig, path)
+        _equivalent_behaviour(aig, read_aiger(path))
+
+    def test_binary_is_smaller_than_ascii_for_large_models(self):
+        case = token_ring(10)
+        assert len(to_aig_bytes(case.aig)) < len(to_aag_string(case.aig).encode())
+
+    def test_ascii_and_binary_agree(self):
+        aig = _example_aig()
+        from_ascii = parse_aiger(to_aag_string(aig))
+        from_binary = parse_aiger(to_aig_bytes(aig))
+        _equivalent_behaviour(from_ascii, from_binary)

@@ -1,0 +1,92 @@
+"""Tests for benchmark suite assembly."""
+
+import pytest
+
+from repro.benchgen import SuiteSpec, build_suite, default_suite, quick_suite
+from repro.core import CheckResult
+
+
+class TestDefaultSuite:
+    def test_has_expected_scale(self):
+        suite = default_suite()
+        assert len(suite) >= 50
+
+    def test_names_are_unique(self):
+        suite = default_suite()
+        assert len({case.name for case in suite}) == len(suite)
+
+    def test_mixes_safe_and_unsafe(self):
+        suite = default_suite()
+        safe = sum(1 for c in suite if c.expected == CheckResult.SAFE)
+        unsafe = sum(1 for c in suite if c.expected == CheckResult.UNSAFE)
+        assert safe >= 25
+        assert unsafe >= 10
+
+    def test_every_case_has_ground_truth(self):
+        assert all(case.expected is not None for case in default_suite())
+
+    def test_covers_all_families(self):
+        families = {case.family for case in default_suite()}
+        assert {
+            "counter",
+            "ring",
+            "johnson",
+            "lfsr",
+            "pipeline",
+            "arbiter",
+            "fifo",
+            "lock",
+            "traffic",
+        } <= families
+
+    def test_unsafe_cases_have_expected_depth(self):
+        for case in default_suite():
+            if case.expected == CheckResult.UNSAFE:
+                assert case.expected_depth is not None and case.expected_depth >= 0
+
+    def test_deterministic(self):
+        names_a = [case.name for case in default_suite()]
+        names_b = [case.name for case in default_suite()]
+        assert names_a == names_b
+
+    def test_all_circuits_wellformed(self):
+        for case in default_suite():
+            case.aig.validate()
+
+
+class TestQuickSuite:
+    def test_is_smaller_subset_of_families(self):
+        quick = quick_suite()
+        assert 10 <= len(quick) < len(default_suite())
+
+    def test_quick_suite_is_fast_sized(self):
+        assert all(case.aig.num_latches <= 12 for case in quick_suite())
+
+
+class TestBuildSuite:
+    def test_custom_spec(self):
+        spec = SuiteSpec(
+            counter_widths=(3,),
+            modular_widths=(3,),
+            ring_sizes=(3,),
+            johnson_widths=(3,),
+            lfsr_widths=(3,),
+            pipeline_stages=(3,),
+            arbiter_sizes=(2,),
+            fifo_widths=(2,),
+            lock_lengths=(2,),
+            include_unsafe=False,
+        )
+        suite = build_suite(spec)
+        assert all(case.expected == CheckResult.SAFE for case in suite)
+
+    def test_include_unsafe_toggle(self):
+        spec = SuiteSpec(include_unsafe=True)
+        with_unsafe = build_suite(spec)
+        without_unsafe = build_suite(
+            SuiteSpec(include_unsafe=False)
+        )
+        assert len(with_unsafe) > len(without_unsafe)
+
+    def test_default_spec_equals_default_suite(self):
+        assert [c.name for c in build_suite()] == [c.name for c in default_suite()]

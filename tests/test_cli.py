@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.aiger import write_aag
+from repro.benchgen import modular_counter, token_ring
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def safe_model(tmp_path):
+    path = tmp_path / "safe.aag"
+    write_aag(token_ring(3).aig, path)
+    return str(path)
+
+
+@pytest.fixture()
+def unsafe_model(tmp_path):
+    path = tmp_path / "unsafe.aag"
+    write_aag(modular_counter(3, modulus=8, bad_value=2).aig, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_check_defaults(self):
+        args = build_parser().parse_args(["check", "model.aag"])
+        assert args.engine == "ic3-pl"
+        assert args.timeout is None
+
+    def test_evaluate_defaults(self):
+        args = build_parser().parse_args(["evaluate"])
+        assert args.timeout == 5.0
+        assert not args.quick
+
+
+class TestCheckCommand:
+    def test_safe_model_exit_code(self, safe_model, capsys):
+        assert main(["check", safe_model]) == 0
+        assert "safe" in capsys.readouterr().out
+
+    def test_unsafe_model_exit_code(self, unsafe_model, capsys):
+        assert main(["check", unsafe_model]) == 1
+        assert "unsafe" in capsys.readouterr().out
+
+    def test_plain_ic3_engine(self, safe_model):
+        assert main(["check", safe_model, "--engine", "ic3"]) == 0
+
+    def test_bmc_engine_on_unsafe(self, unsafe_model, capsys):
+        assert main(["check", unsafe_model, "--engine", "bmc", "--max-depth", "5"]) == 1
+        assert "bmc" in capsys.readouterr().out
+
+    def test_bmc_engine_inconclusive_on_safe(self, safe_model):
+        assert main(["check", safe_model, "--engine", "bmc", "--max-depth", "3"]) == 2
+
+
+class TestSuiteCommand:
+    def test_suite_listing(self, capsys):
+        assert main(["suite", "--list", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "cases" in output
+        assert "ring" in output
+
+    def test_suite_count_only(self, capsys):
+        assert main(["suite", "--quick"]) == 0
+        assert "cases" in capsys.readouterr().out
+
+
+class TestEvaluateCommand:
+    def test_quick_evaluation_smoke(self, capsys, monkeypatch):
+        # Shrink the suite to keep the CLI test fast.
+        from repro import cli
+        from repro.benchgen import token_ring as ring
+
+        monkeypatch.setattr(cli, "quick_suite", lambda: [ring(3), ring(3, safe=False)])
+        exit_code = main(["evaluate", "--quick", "--timeout", "20"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Table 1" in output
+        assert "RIC3-pl" in output

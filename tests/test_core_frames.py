@@ -1,0 +1,194 @@
+"""Tests for frame management and the IC3 SAT queries."""
+
+import pytest
+
+from repro.benchgen import token_ring, modular_counter
+from repro.core.frames import FrameManager
+from repro.core.options import IC3Options
+from repro.core.stats import IC3Stats
+from repro.logic import Cube
+from repro.ts import TransitionSystem
+
+
+def _manager(case=None, **option_kwargs):
+    case = case if case is not None else token_ring(3)
+    ts = TransitionSystem(case.aig)
+    options = IC3Options(**option_kwargs)
+    stats = IC3Stats()
+    manager = FrameManager(ts, options, stats)
+    return manager, ts, stats
+
+
+class TestFrameBookkeeping:
+    def test_initial_state(self):
+        manager, _, _ = _manager()
+        assert manager.top_level == 0
+        assert manager.lemma_counts() == [0]
+
+    def test_add_frame(self):
+        manager, _, stats = _manager()
+        assert manager.add_frame() == 1
+        assert manager.add_frame() == 2
+        assert manager.top_level == 2
+        assert stats.frames_opened == 2
+
+    def test_add_blocked_cube_levels(self):
+        manager, ts, stats = _manager()
+        manager.add_frame()
+        manager.add_frame()
+        cube = Cube([ts.latch_vars[0], ts.latch_vars[1]])
+        manager.add_blocked_cube(cube, 2)
+        assert manager.lemmas_exactly_at(2) == [cube]
+        assert manager.lemmas_exactly_at(1) == []
+        assert manager.lemmas_at_or_above(1) == [cube]
+        assert stats.lemmas_added == 1
+
+    def test_add_blocked_cube_invalid_level(self):
+        manager, ts, _ = _manager()
+        with pytest.raises(ValueError):
+            manager.add_blocked_cube(Cube([ts.latch_vars[0]]), 1)
+
+    def test_subsumption_removes_weaker_lemmas(self):
+        manager, ts, stats = _manager()
+        manager.add_frame()
+        weak = Cube([ts.latch_vars[0], ts.latch_vars[1], ts.latch_vars[2]])
+        strong = Cube([ts.latch_vars[0]])
+        manager.add_blocked_cube(weak, 1)
+        manager.add_blocked_cube(strong, 1)
+        assert manager.lemmas_exactly_at(1) == [strong]
+        assert stats.subsumed_lemmas == 1
+
+    def test_subsumption_only_below_new_level(self):
+        manager, ts, _ = _manager()
+        manager.add_frame()
+        manager.add_frame()
+        weak = Cube([ts.latch_vars[0], ts.latch_vars[1]])
+        strong = Cube([ts.latch_vars[0]])
+        manager.add_blocked_cube(weak, 2)
+        manager.add_blocked_cube(strong, 1)
+        # The weak lemma lives at level 2 > 1, so it must survive.
+        assert weak in manager.lemmas_exactly_at(2)
+
+    def test_promote_cube(self):
+        manager, ts, stats = _manager()
+        manager.add_frame()
+        manager.add_frame()
+        cube = Cube([ts.latch_vars[1]])
+        manager.add_blocked_cube(cube, 1)
+        manager.promote_cube(cube, 1, 2)
+        assert manager.lemmas_exactly_at(1) == []
+        assert manager.lemmas_exactly_at(2) == [cube]
+        assert stats.lemmas_pushed == 1
+
+    def test_is_blocked_syntactically(self):
+        manager, ts, _ = _manager()
+        manager.add_frame()
+        manager.add_frame()
+        lemma = Cube([ts.latch_vars[1]])
+        manager.add_blocked_cube(lemma, 2)
+        bigger = Cube([ts.latch_vars[1], ts.latch_vars[2]])
+        assert manager.is_blocked_syntactically(bigger, 1)
+        assert manager.is_blocked_syntactically(bigger, 2)
+        assert not manager.is_blocked_syntactically(Cube([ts.latch_vars[2]]), 1)
+
+    def test_frames_equal_detection(self):
+        manager, ts, _ = _manager()
+        manager.add_frame()
+        assert manager.frames_equal(1)  # nothing stored at level 1 yet
+        manager.add_blocked_cube(Cube([ts.latch_vars[1]]), 1)
+        assert not manager.frames_equal(1)
+
+    def test_frame_clauses_are_negations(self):
+        manager, ts, _ = _manager()
+        manager.add_frame()
+        cube = Cube([ts.latch_vars[1], -ts.latch_vars[2]])
+        manager.add_blocked_cube(cube, 1)
+        clauses = manager.frame_clauses(1)
+        assert clauses == [cube.negate()]
+
+
+class TestQueries:
+    def test_get_bad_state_level0_for_safe_design(self):
+        manager, _, _ = _manager(token_ring(3))
+        assert manager.get_bad_state(0) is None
+
+    def test_get_bad_state_finds_violation(self):
+        # bad value 0 is the initial state itself.
+        case = modular_counter(3, modulus=8, bad_value=0)
+        manager, ts, _ = _manager(case)
+        bad = manager.get_bad_state(0)
+        assert bad is not None
+        assert ts.cube_intersects_init(bad.state)
+
+    def test_consecution_holds_for_unreachable_cube(self):
+        # In the token ring, "two tokens at once" is unreachable and its
+        # negation is inductive relative to the one-token initial frame.
+        case = token_ring(3)
+        manager, ts, _ = _manager(case)
+        manager.add_frame()
+        two_tokens = Cube([ts.latch_vars[0], ts.latch_vars[1]])
+        result = manager.consecution(0, two_tokens)
+        assert result.holds
+        assert result.core_cube is not None
+        assert result.core_cube.literal_set <= two_tokens.literal_set
+
+    def test_consecution_fails_with_counterexample(self):
+        # "token in stage 1" is reachable from the initial state in one step.
+        case = token_ring(3)
+        manager, ts, _ = _manager(case)
+        manager.add_frame()
+        reachable = Cube([ts.latch_vars[1]])
+        result = manager.consecution(0, reachable)
+        assert not result.holds
+        assert result.predecessor is not None
+        assert result.successor is not None
+        # The CTP successor satisfies the queried cube.
+        assert reachable.literal_set <= result.successor.literal_set
+        # The predecessor is an initial state (frame 0 = I).
+        assert ts.cube_intersects_init(result.predecessor)
+
+    def test_consecution_uses_frame_lemmas(self):
+        case = token_ring(3)
+        manager, ts, _ = _manager(case)
+        manager.add_frame()
+        target = Cube([ts.latch_vars[1], -ts.latch_vars[0], -ts.latch_vars[2]])
+        # Without extra lemmas the cube is reachable from F_1 = ⊤ ...
+        assert not manager.consecution(1, target).holds
+        # ... but once the frame says "token never in stage 0", it is not.
+        manager.add_blocked_cube(Cube([ts.latch_vars[0]]), 1)
+        assert manager.consecution(1, target).holds
+
+    def test_counters_track_sat_calls(self):
+        manager, ts, stats = _manager(token_ring(3))
+        manager.add_frame()
+        manager.consecution(0, Cube([ts.latch_vars[1]]))
+        manager.get_bad_state(0)
+        assert stats.sat_calls == 2
+        assert stats.consecution_calls == 1
+
+    def test_lift_predecessor_returns_subcube(self):
+        case = token_ring(4)
+        manager, ts, _ = _manager(case)
+        manager.add_frame()
+        result = manager.consecution(0, Cube([ts.latch_vars[1]]))
+        assert not result.holds
+        lifted = manager.lift_predecessor(
+            result.predecessor, result.inputs, Cube([ts.latch_vars[1]])
+        )
+        assert lifted.literal_set <= result.predecessor.literal_set
+        assert len(lifted) >= 1
+
+    def test_solver_rebuild_preserves_answers(self):
+        case = token_ring(3)
+        manager, ts, _ = _manager(case, solver_rebuild_interval=2)
+        manager.add_frame()
+        cube = Cube([ts.latch_vars[0], ts.latch_vars[1]])
+        results = [manager.consecution(0, cube).holds for _ in range(8)]
+        assert all(results)
+
+    def test_total_lemmas(self):
+        manager, ts, _ = _manager()
+        manager.add_frame()
+        manager.add_blocked_cube(Cube([ts.latch_vars[1]]), 1)
+        manager.add_blocked_cube(Cube([ts.latch_vars[2]]), 1)
+        assert manager.total_lemmas() == 2

@@ -1,0 +1,129 @@
+"""Tests for certificate and counterexample validation.
+
+Both validators must accept genuine artefacts produced by the engines and,
+just as importantly, reject doctored ones — otherwise they could not serve
+as independent oracles.
+"""
+
+import pytest
+
+from repro.benchgen import modular_counter, token_ring, fifo_controller
+from repro.core import (
+    IC3,
+    BMC,
+    CheckResult,
+    Certificate,
+    IC3Options,
+    check_certificate,
+    check_counterexample,
+    CertificateError,
+)
+from repro.core.result import CounterexampleTrace, TraceStep
+from repro.logic import Clause, Cube
+from repro.ts import TransitionSystem
+
+
+@pytest.fixture(scope="module")
+def safe_run():
+    case = token_ring(4)
+    outcome = IC3(case.aig, IC3Options().with_prediction()).check(time_limit=60)
+    assert outcome.result == CheckResult.SAFE
+    return case, outcome
+
+
+@pytest.fixture(scope="module")
+def unsafe_run():
+    case = modular_counter(3, modulus=8, bad_value=4)
+    outcome = IC3(case.aig, IC3Options().with_prediction()).check(time_limit=60)
+    assert outcome.result == CheckResult.UNSAFE
+    return case, outcome
+
+
+class TestCertificateValidation:
+    def test_genuine_certificate_accepted(self, safe_run):
+        case, outcome = safe_run
+        assert check_certificate(case.aig, outcome.certificate)
+
+    def test_accepts_transition_system_argument(self, safe_run):
+        case, outcome = safe_run
+        ts = TransitionSystem(case.aig)
+        assert check_certificate(ts, outcome.certificate)
+
+    def test_rejects_clause_violating_initiation(self, safe_run):
+        case, outcome = safe_run
+        ts = TransitionSystem(case.aig)
+        # "token0 is low" is false in the initial state.
+        broken = Certificate(
+            clauses=list(outcome.certificate.clauses) + [Clause([-ts.latch_vars[0]])]
+        )
+        with pytest.raises(CertificateError):
+            check_certificate(case.aig, broken)
+
+    def test_rejects_certificate_that_allows_bad_states(self, safe_run):
+        case, _ = safe_run
+        # The empty clause set does not rule out the two-token bad states.
+        with pytest.raises(CertificateError):
+            check_certificate(case.aig, Certificate(clauses=[]))
+
+    def test_rejects_non_inductive_clause_set(self):
+        case = modular_counter(3, modulus=6, bad_value=7)
+        ts = TransitionSystem(case.aig)
+        # "counter < 4" rules out the bad value 7 and holds initially, but is
+        # not inductive on its own (the counter does reach 4 and 5).
+        clauses = [Clause([-ts.latch_vars[2]])]
+        with pytest.raises(CertificateError):
+            check_certificate(case.aig, Certificate(clauses=clauses))
+
+    def test_accepts_hand_built_invariant(self):
+        # For the 2-bit FIFO controller, "count <= 2" is inductive: the
+        # clause ¬(count0 ∧ count1) excludes 3 and the counter saturates.
+        case = fifo_controller(2)
+        ts = TransitionSystem(case.aig)
+        certificate = Certificate(
+            clauses=[Clause([-ts.latch_vars[0], -ts.latch_vars[1]])]
+        )
+        assert check_certificate(case.aig, certificate)
+
+
+class TestCounterexampleValidation:
+    def test_genuine_trace_accepted(self, unsafe_run):
+        case, outcome = unsafe_run
+        assert check_counterexample(case.aig, outcome.trace)
+
+    def test_bmc_trace_accepted(self):
+        case = modular_counter(3, modulus=8, bad_value=3)
+        outcome = BMC(case.aig).check(max_depth=10)
+        assert check_counterexample(case.aig, outcome.trace)
+
+    def test_rejects_empty_trace(self, unsafe_run):
+        case, _ = unsafe_run
+        with pytest.raises(CertificateError):
+            check_counterexample(case.aig, CounterexampleTrace(steps=[]))
+
+    def test_rejects_trace_not_starting_in_init(self, unsafe_run):
+        case, outcome = unsafe_run
+        ts = TransitionSystem(case.aig)
+        bogus_first = TraceStep(state=Cube([ts.latch_vars[0]]), inputs={})
+        trace = CounterexampleTrace(steps=[bogus_first] + outcome.trace.steps[1:])
+        with pytest.raises(CertificateError):
+            check_counterexample(case.aig, trace)
+
+    def test_rejects_truncated_trace(self, unsafe_run):
+        case, outcome = unsafe_run
+        trace = CounterexampleTrace(steps=outcome.trace.steps[:-1])
+        with pytest.raises(CertificateError):
+            check_counterexample(case.aig, trace)
+
+    def test_rejects_trace_with_corrupted_state(self, unsafe_run):
+        case, outcome = unsafe_run
+        ts = TransitionSystem(case.aig)
+        steps = list(outcome.trace.steps)
+        # Flip every latch literal of the last state.
+        final = steps[-1]
+        steps[-1] = TraceStep(
+            state=Cube([-l for l in final.state]), inputs=final.inputs
+        )
+        if len(steps) < 2:
+            pytest.skip("trace too short to corrupt meaningfully")
+        with pytest.raises(CertificateError):
+            check_counterexample(case.aig, CounterexampleTrace(steps=steps))

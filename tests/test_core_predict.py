@@ -1,0 +1,222 @@
+"""Tests for the CTP table and the lemma-prediction algorithm (Algorithm 2)."""
+
+import pytest
+
+from repro.benchgen import token_ring, modular_counter
+from repro.core.frames import FrameManager
+from repro.core.options import IC3Options
+from repro.core.predict import CtpTable, LemmaPredictor, Prediction
+from repro.core.stats import IC3Stats
+from repro.core.ic3 import IC3
+from repro.core.result import CheckResult
+from repro.logic import Cube, diff
+from repro.ts import TransitionSystem
+
+
+class TestCtpTable:
+    def test_record_and_lookup(self):
+        table = CtpTable()
+        lemma, successor = Cube([1, 2]), Cube([-1, 2])
+        table.record(lemma, 3, successor)
+        assert table.lookup(lemma, 3) == successor
+        assert (lemma, 3) in table
+        assert len(table) == 1
+
+    def test_lookup_respects_level(self):
+        table = CtpTable()
+        table.record(Cube([1]), 2, Cube([-1]))
+        assert table.lookup(Cube([1]), 3) is None
+
+    def test_overwrite_updates_entry(self):
+        table = CtpTable()
+        table.record(Cube([1]), 1, Cube([2]))
+        table.record(Cube([1]), 1, Cube([-2]))
+        assert table.lookup(Cube([1]), 1) == Cube([-2])
+        assert len(table) == 1
+
+    def test_clear(self):
+        table = CtpTable()
+        table.record(Cube([1]), 1, Cube([2]))
+        table.clear()
+        assert len(table) == 0
+        assert table.lookup(Cube([1]), 1) is None
+
+    def test_entries_copy(self):
+        table = CtpTable()
+        table.record(Cube([1]), 1, Cube([2]))
+        entries = table.entries()
+        entries.clear()
+        assert len(table) == 1
+
+
+def _predictor_setup(case=None, **option_kwargs):
+    case = case if case is not None else token_ring(4)
+    ts = TransitionSystem(case.aig)
+    options = IC3Options(enable_prediction=True, **option_kwargs)
+    stats = IC3Stats()
+    frames = FrameManager(ts, options, stats)
+    predictor = LemmaPredictor(frames, options, stats)
+    return predictor, frames, ts, stats
+
+
+class TestParentLemmas:
+    def test_no_parents_when_frame_empty(self):
+        predictor, frames, ts, _ = _predictor_setup()
+        frames.add_frame()
+        assert predictor.parent_lemmas(Cube([ts.latch_vars[0]]), 1) == []
+
+    def test_level_zero_has_no_parents(self):
+        predictor, _, ts, _ = _predictor_setup()
+        assert predictor.parent_lemmas(Cube([ts.latch_vars[0]]), 0) == []
+
+    def test_parent_must_be_contained_in_cube(self):
+        predictor, frames, ts, _ = _predictor_setup()
+        frames.add_frame()
+        frames.add_frame()
+        parent = Cube([ts.latch_vars[0], ts.latch_vars[1]])
+        unrelated = Cube([ts.latch_vars[2], ts.latch_vars[3]])
+        frames.add_blocked_cube(parent, 1)
+        frames.add_blocked_cube(unrelated, 1)
+        bad = Cube([ts.latch_vars[0], ts.latch_vars[1], ts.latch_vars[2]])
+        assert predictor.parent_lemmas(bad, 1) == [parent]
+
+    def test_parent_only_from_exact_level(self):
+        predictor, frames, ts, _ = _predictor_setup()
+        frames.add_frame()
+        frames.add_frame()
+        parent = Cube([ts.latch_vars[0]])
+        frames.add_blocked_cube(parent, 2)  # lives at level 2, not level 1
+        bad = Cube([ts.latch_vars[0], ts.latch_vars[1]])
+        assert predictor.parent_lemmas(bad, 1) == []
+        assert predictor.parent_lemmas(bad, 2) == [parent]
+
+
+class TestRecordingFailures:
+    def test_record_and_stats(self):
+        predictor, _, ts, stats = _predictor_setup()
+        predictor.record_push_failure(Cube([ts.latch_vars[0]]), 1, Cube([-ts.latch_vars[0]]))
+        assert stats.ctp_recorded == 1
+        assert predictor.table.lookup(Cube([ts.latch_vars[0]]), 1) is not None
+
+    def test_record_none_successor_ignored(self):
+        predictor, _, ts, stats = _predictor_setup()
+        predictor.record_push_failure(Cube([ts.latch_vars[0]]), 1, None)
+        assert stats.ctp_recorded == 0
+        assert len(predictor.table) == 0
+
+    def test_clear_counts_only_nonempty(self):
+        predictor, _, ts, stats = _predictor_setup()
+        predictor.clear_table()
+        assert stats.ctp_table_clears == 0
+        predictor.record_push_failure(Cube([ts.latch_vars[0]]), 1, Cube([ts.latch_vars[1]]))
+        predictor.clear_table()
+        assert stats.ctp_table_clears == 1
+        assert len(predictor.table) == 0
+
+
+class TestPrediction:
+    def test_no_prediction_without_parents(self):
+        predictor, frames, ts, stats = _predictor_setup()
+        frames.add_frame()
+        frames.add_frame()
+        assert predictor.predict(Cube([ts.latch_vars[0]]), 2) is None
+        assert stats.prediction_queries == 0
+
+    def test_no_prediction_without_recorded_failure(self):
+        predictor, frames, ts, stats = _predictor_setup()
+        frames.add_frame()
+        frames.add_frame()
+        parent = Cube([ts.latch_vars[1]])
+        frames.add_blocked_cube(parent, 1)
+        bad = Cube([ts.latch_vars[1], ts.latch_vars[2]])
+        assert predictor.predict(bad, 2) is None
+        assert stats.parent_lemmas_found == 1
+        assert stats.parent_lemma_hits == 0
+
+    def test_successful_extended_prediction_in_engine_scenario(self):
+        """Drive the predictor through a real IC3-like situation.
+
+        In the 4-stage token ring, the lemma ¬(stage1 ∧ stage2) fails to
+        propagate (we record a synthetic CTP with the real successor), and
+        blocking the two-token cube (stage1 ∧ stage2 ∧ stage3) at the next
+        level should then be predicted from the parent without dropping
+        variables.
+        """
+        predictor, frames, ts, stats = _predictor_setup(token_ring(4))
+        frames.add_frame()
+        frames.add_frame()
+        l0, l1, l2, l3 = ts.latch_vars
+        parent = Cube([l1, l2])
+        frames.add_blocked_cube(parent, 1)
+
+        bad = Cube([l1, l2, l3])
+        # CTP state that satisfies the parent but disagrees with `bad` on l3.
+        ctp_state = Cube([-l0, l1, l2, -l3])
+        predictor.record_push_failure(parent, 1, ctp_state)
+
+        prediction = predictor.predict(bad, 2)
+        assert prediction is not None
+        assert prediction.kind == "extended"
+        # Equation 6: the predicted cube extends the parent by one diff literal.
+        assert parent.literal_set < prediction.cube.literal_set
+        assert prediction.cube.literal_set <= bad.literal_set
+        assert diff(prediction.cube, ctp_state)
+        assert stats.prediction_successes == 1
+        assert stats.parent_lemma_hits == 1
+        assert stats.predicted_extended == 1
+
+    def test_push_parent_prediction_when_diff_empty(self):
+        predictor, frames, ts, stats = _predictor_setup(token_ring(4))
+        frames.add_frame()
+        frames.add_frame()
+        l0, l1, l2, l3 = ts.latch_vars
+        parent = Cube([l1, l2])
+        frames.add_blocked_cube(parent, 1)
+        # A second lemma that makes the parent's push succeed (it excludes
+        # the only predecessor of a two-token state at stages 1 and 2).
+        frames.add_blocked_cube(Cube([l0, l1]), 1)
+        bad = Cube([l1, l2, l3])
+        # CTP state that *agrees* with bad on every literal -> empty diff set.
+        ctp_state = Cube([l1, l2, l3, -l0])
+        predictor.record_push_failure(parent, 1, ctp_state)
+
+        prediction = predictor.predict(bad, 2)
+        assert prediction is not None
+        assert prediction.kind == "push-parent"
+        assert prediction.cube == parent
+        assert stats.predicted_push_parent == 1
+
+    def test_prediction_budget_limits_queries(self):
+        predictor, frames, ts, stats = _predictor_setup(
+            modular_counter(3, modulus=6, bad_value=7), max_prediction_candidates=1
+        )
+        frames.add_frame()
+        frames.add_frame()
+        parent = Cube([ts.latch_vars[0]])
+        frames.add_blocked_cube(parent, 1)
+        bad = Cube(list(ts.latch_vars))
+        ctp_state = Cube([-v for v in ts.latch_vars])
+        predictor.record_push_failure(parent, 1, ctp_state)
+        predictor.predict(bad, 2)
+        assert stats.prediction_queries <= 1
+
+    def test_invariant_checking_mode_passes_for_valid_predictions(self):
+        # Run a whole engine with assertion mode on; any violated invariant
+        # would raise PredictionInvariantError and fail the check() call.
+        options = IC3Options(enable_prediction=True, check_predicted_lemmas=True)
+        outcome = IC3(token_ring(5).aig, options).check(time_limit=30)
+        assert outcome.result == CheckResult.SAFE
+
+    def test_predicted_lemma_is_relatively_inductive(self):
+        """Whatever predict() returns must pass a consecution check."""
+        predictor, frames, ts, stats = _predictor_setup(token_ring(4))
+        frames.add_frame()
+        frames.add_frame()
+        l0, l1, l2, l3 = ts.latch_vars
+        parent = Cube([l1, l2])
+        frames.add_blocked_cube(parent, 1)
+        bad = Cube([l1, l2, l3])
+        predictor.record_push_failure(parent, 1, Cube([-l0, l1, l2, -l3]))
+        prediction = predictor.predict(bad, 2)
+        assert prediction is not None
+        assert frames.consecution(1, prediction.cube).holds

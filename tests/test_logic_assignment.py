@@ -1,0 +1,73 @@
+"""Unit tests for the Assignment helper."""
+
+import pytest
+
+from repro.logic import Assignment, Cube
+
+
+class TestMappingProtocol:
+    def test_set_and_get(self):
+        assignment = Assignment()
+        assignment[3] = True
+        assert assignment[3] is True
+        assert 3 in assignment
+        assert len(assignment) == 1
+
+    def test_init_from_mapping(self):
+        assignment = Assignment({1: True, 2: False})
+        assert assignment[1] is True
+        assert assignment[2] is False
+
+    def test_invalid_variable(self):
+        with pytest.raises(ValueError):
+            Assignment()[0] = True
+
+    def test_get_default(self):
+        assert Assignment().get(7) is None
+        assert Assignment().get(7, False) is False
+
+    def test_values_coerced_to_bool(self):
+        assignment = Assignment({1: 1, 2: 0})
+        assert assignment[1] is True
+        assert assignment[2] is False
+
+    def test_equality(self):
+        assert Assignment({1: True}) == Assignment({1: True})
+        assert Assignment({1: True}) != Assignment({1: False})
+
+    def test_iteration_and_items(self):
+        assignment = Assignment({1: True, 2: False})
+        assert sorted(assignment) == [1, 2]
+        assert dict(assignment.items()) == {1: True, 2: False}
+
+
+class TestLiteralViews:
+    def test_value_of_literal(self):
+        assignment = Assignment({1: True, 2: False})
+        assert assignment.value_of_literal(1) is True
+        assert assignment.value_of_literal(-1) is False
+        assert assignment.value_of_literal(2) is False
+        assert assignment.value_of_literal(-2) is True
+        assert assignment.value_of_literal(3) is None
+
+    def test_satisfies_cube(self):
+        assignment = Assignment({1: True, 2: False})
+        assert assignment.satisfies_cube(Cube([1, -2]))
+        assert not assignment.satisfies_cube(Cube([1, 2]))
+        assert not assignment.satisfies_cube(Cube([1, 3]))  # unassigned
+
+    def test_to_cube_all_variables(self):
+        assignment = Assignment({1: True, 2: False})
+        assert assignment.to_cube() == Cube([1, -2])
+
+    def test_to_cube_projection(self):
+        assignment = Assignment({1: True, 2: False, 3: True})
+        assert assignment.to_cube([1, 3]) == Cube([1, 3])
+        assert assignment.to_cube([4]) == Cube()
+
+    def test_from_cube_roundtrip(self):
+        cube = Cube([1, -2, 3])
+        assert Assignment.from_cube(cube).to_cube() == cube
+
+    def test_repr_contains_values(self):
+        assert "1=1" in repr(Assignment({1: True}))

@@ -1,0 +1,112 @@
+"""Unit tests for the CNF container."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.logic import CNF, Clause, Cube
+
+
+class TestConstruction:
+    def test_empty(self):
+        cnf = CNF()
+        assert len(cnf) == 0
+        assert cnf.num_vars() == 0
+        assert not cnf.has_empty_clause()
+
+    def test_add_returns_clause(self):
+        cnf = CNF()
+        clause = cnf.add([1, -2])
+        assert isinstance(clause, Clause)
+        assert clause in cnf
+
+    def test_add_existing_clause_object(self):
+        cnf = CNF()
+        clause = Clause([3, 4])
+        assert cnf.add(clause) is clause
+
+    def test_from_iterable(self):
+        cnf = CNF([[1, 2], [-1, 3]])
+        assert len(cnf) == 2
+        assert cnf.num_vars() == 3
+
+    def test_extend_and_unit(self):
+        cnf = CNF()
+        cnf.extend([[1], [2, 3]])
+        cnf.add_unit(-4)
+        assert len(cnf) == 3
+        assert Clause([-4]) in cnf
+
+    def test_copy_is_independent(self):
+        cnf = CNF([[1, 2]])
+        other = cnf.copy()
+        other.add([3])
+        assert len(cnf) == 1
+        assert len(other) == 2
+
+    def test_empty_clause_detection(self):
+        cnf = CNF()
+        cnf.add([])
+        assert cnf.has_empty_clause()
+
+    def test_equality_ignores_order(self):
+        assert CNF([[1, 2], [3]]) == CNF([[3], [2, 1]])
+
+    def test_variables(self):
+        assert CNF([[1, -5], [2]]).variables() == {1, 2, 5}
+
+
+class TestEvaluation:
+    def test_satisfied(self):
+        cnf = CNF([[1, 2], [-1, 3]])
+        assert cnf.evaluate({1: True, 3: True}) is True
+
+    def test_falsified(self):
+        cnf = CNF([[1, 2]])
+        assert cnf.evaluate({1: False, 2: False}) is False
+
+    def test_undecided(self):
+        cnf = CNF([[1, 2]])
+        assert cnf.evaluate({1: False}) is None
+
+    def test_satisfied_by_cube(self):
+        cnf = CNF([[1, 2], [-3]])
+        assert cnf.satisfied_by(Cube([1, -3])) is True
+        assert cnf.satisfied_by(Cube([-1, -2])) is False
+
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=-4, max_value=4).filter(lambda x: x != 0),
+                     min_size=1, max_size=3),
+            min_size=1, max_size=5,
+        ),
+        st.dictionaries(st.integers(min_value=1, max_value=4), st.booleans(),
+                        min_size=4, max_size=4),
+    )
+    def test_total_assignment_never_undecided(self, clauses, assignment):
+        cnf = CNF(clauses)
+        assert cnf.evaluate(assignment) in (True, False)
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        cnf = CNF([[1, -2], [2, 3, -4], [-1]])
+        parsed = CNF.from_dimacs(cnf.to_dimacs())
+        assert parsed == cnf
+
+    def test_header_and_terminators(self):
+        text = CNF([[1, 2]]).to_dimacs()
+        assert text.startswith("p cnf 2 1")
+        assert text.strip().endswith("0")
+
+    def test_parse_with_comments(self):
+        text = "c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n"
+        cnf = CNF.from_dimacs(text)
+        assert len(cnf) == 2
+        assert Clause([1, -2]) in cnf
+
+    def test_parse_clause_spanning_lines(self):
+        cnf = CNF.from_dimacs("p cnf 3 1\n1 2\n3 0\n")
+        assert cnf.clauses == [Clause([1, 2, 3])]
+
+    def test_explicit_num_vars(self):
+        assert CNF([[1]]).to_dimacs(num_vars=10).startswith("p cnf 10 1")

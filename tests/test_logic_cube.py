@@ -1,0 +1,169 @@
+"""Unit and property tests for cubes, clauses and the diff set.
+
+The property tests exercise the paper's Theorems 3.2-3.4 and the
+construction of Equation 6 directly on the data structures.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.logic import Cube, Clause, diff
+
+
+def _cube_strategy(max_var=8, min_size=0, max_size=6):
+    """Non-contradictory cubes: one polarity per variable."""
+    return st.dictionaries(
+        st.integers(min_value=1, max_value=max_var),
+        st.booleans(),
+        min_size=min_size,
+        max_size=max_size,
+    ).map(lambda d: Cube(v if pol else -v for v, pol in d.items()))
+
+
+class TestCubeBasics:
+    def test_canonical_order_and_dedup(self):
+        assert Cube([3, -1, 3, 2]).literals == (-1, 2, 3)
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ValueError):
+            Cube([1, 0])
+
+    def test_len_and_contains(self):
+        cube = Cube([1, -2, 3])
+        assert len(cube) == 3
+        assert -2 in cube
+        assert 2 not in cube
+
+    def test_equality_and_hash(self):
+        assert Cube([1, 2]) == Cube([2, 1])
+        assert hash(Cube([1, 2])) == hash(Cube([2, 1]))
+        assert Cube([1, 2]) != Cube([1, -2])
+
+    def test_cube_and_clause_are_distinct_types(self):
+        assert Cube([1]) != Clause([1])
+
+    def test_empty_cube(self):
+        cube = Cube()
+        assert cube.is_empty()
+        assert len(cube) == 0
+
+    def test_variables(self):
+        assert Cube([1, -5, 3]).variables == {1, 3, 5}
+
+    def test_repr_round(self):
+        assert "Cube" in repr(Cube([1, -2]))
+
+    def test_ordering_comparable(self):
+        assert sorted([Cube([2]), Cube([1])]) == [Cube([1]), Cube([2])]
+
+
+class TestCubeOperations:
+    def test_negate_gives_clause(self):
+        clause = Cube([1, -2]).negate()
+        assert isinstance(clause, Clause)
+        assert set(clause) == {-1, 2}
+
+    def test_double_negation(self):
+        cube = Cube([1, -2, 3])
+        assert cube.negate().negate() == cube
+
+    def test_without(self):
+        assert Cube([1, 2, 3]).without(2) == Cube([1, 3])
+
+    def test_without_missing_literal(self):
+        with pytest.raises(KeyError):
+            Cube([1, 2]).without(3)
+
+    def test_extended(self):
+        assert Cube([1, 2]).extended(3) == Cube([1, 2, 3])
+
+    def test_extended_existing_is_noop(self):
+        assert Cube([1, 2]).extended(2) == Cube([1, 2])
+
+    def test_extended_contradiction_rejected(self):
+        with pytest.raises(ValueError):
+            Cube([1, 2]).extended(-1)
+
+    def test_restrict_to(self):
+        assert Cube([1, -2, 3]).restrict_to([1, 3]) == Cube([1, 3])
+
+    def test_subsumes(self):
+        assert Cube([1]).subsumes(Cube([1, 2]))
+        assert not Cube([1, 3]).subsumes(Cube([1, 2]))
+
+    def test_is_tautological_detects_contradiction(self):
+        assert Cube([1, -1]).is_tautological()
+        assert not Cube([1, 2]).is_tautological()
+
+
+class TestClause:
+    def test_negate_gives_cube(self):
+        cube = Clause([1, -2]).negate()
+        assert isinstance(cube, Cube)
+        assert set(cube) == {-1, 2}
+
+    def test_implies_by_subsumption(self):
+        assert Clause([1]).implies(Clause([1, 2]))
+        assert not Clause([1, 2]).implies(Clause([1]))
+
+    def test_without(self):
+        assert Clause([1, 2, 3]).without(1) == Clause([2, 3])
+
+
+class TestTheorem34:
+    """Theorem 3.4: for non-empty cubes, a ⇒ b iff b ⊆ a."""
+
+    def test_implies_when_superset(self):
+        assert Cube([1, 2, 3]).implies(Cube([1, 3]))
+
+    def test_not_implies_when_missing_literal(self):
+        assert not Cube([1, 3]).implies(Cube([1, 2]))
+
+    @given(_cube_strategy(), _cube_strategy())
+    def test_implication_matches_subset(self, a, b):
+        assert a.implies(b) == (b.literal_set <= a.literal_set)
+
+
+class TestDiffSet:
+    """Definition 3.1 and Theorems 3.2 / 3.3."""
+
+    def test_basic(self):
+        assert diff(Cube([1, 2, -3]), Cube([-1, 2, 3])) == {1, -3}
+
+    def test_asymmetry(self):
+        a, b = Cube([1, 2]), Cube([-1, -2])
+        assert diff(a, b) == {1, 2}
+        assert diff(b, a) == {-1, -2}
+
+    def test_empty_when_no_conflict(self):
+        assert diff(Cube([1, 2]), Cube([2, 3])) == frozenset()
+
+    @given(_cube_strategy(), _cube_strategy())
+    def test_theorem_3_2(self, a, b):
+        """a ∧ b = ⊥ iff diff(a, b) ≠ ∅ (for non-contradictory cubes)."""
+        conjunction_literals = set(a) | set(b)
+        contradictory = any(-l in conjunction_literals for l in conjunction_literals)
+        assert bool(diff(a, b)) == contradictory
+
+    @given(_cube_strategy(), _cube_strategy(), _cube_strategy())
+    def test_theorem_3_3(self, a, b, c):
+        """If diff(a,b) ≠ ∅ and c ∩ diff(a,b) ≠ ∅ then diff(c,b) ≠ ∅."""
+        d = diff(a, b)
+        if d and (c.literal_set & d):
+            assert diff(c, b)
+
+    @given(_cube_strategy(max_var=10, min_size=1), st.data())
+    def test_equation_6_properties(self, b, data):
+        """A c3 built per Equation 6 satisfies Equations 2, 3 and 4."""
+        # Build a CTP state t that disagrees with b on at least one literal.
+        flip = data.draw(st.sampled_from(sorted(b.literals)))
+        t = Cube([-flip] + [l for l in b if l != flip])
+        # Parent cube c2: any strict subset of b that leaves out the flipped literal.
+        c2 = Cube([l for l in b if l != flip][: max(0, len(b) - 2)])
+        d_set = diff(b, t)
+        assert d_set  # Equation 1
+        literal = data.draw(st.sampled_from(sorted(d_set)))
+        c3 = c2.extended(literal)
+        assert diff(c3, t)                      # Equation 2: c3 ∧ t = ⊥
+        assert c3.literal_set <= b.literal_set  # Equation 3: b ⊨ c3
+        assert c2.literal_set <= c3.literal_set  # Equation 4: c3 ⊨ c2

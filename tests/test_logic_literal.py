@@ -1,0 +1,78 @@
+"""Unit tests for literal helpers."""
+
+import pytest
+
+from repro.logic import lit_var, lit_neg, lit_sign, lit_from_var, is_valid_lit
+
+
+class TestLitVar:
+    def test_positive_literal(self):
+        assert lit_var(5) == 5
+
+    def test_negative_literal(self):
+        assert lit_var(-5) == 5
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            lit_var(0)
+
+
+class TestLitNeg:
+    def test_negation_of_positive(self):
+        assert lit_neg(3) == -3
+
+    def test_negation_of_negative(self):
+        assert lit_neg(-3) == 3
+
+    def test_double_negation_is_identity(self):
+        for lit in (1, -1, 7, -42):
+            assert lit_neg(lit_neg(lit)) == lit
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            lit_neg(0)
+
+
+class TestLitSign:
+    def test_positive(self):
+        assert lit_sign(9) is True
+
+    def test_negative(self):
+        assert lit_sign(-9) is False
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            lit_sign(0)
+
+
+class TestLitFromVar:
+    def test_positive_polarity(self):
+        assert lit_from_var(4) == 4
+        assert lit_from_var(4, positive=True) == 4
+
+    def test_negative_polarity(self):
+        assert lit_from_var(4, positive=False) == -4
+
+    def test_invalid_variable(self):
+        with pytest.raises(ValueError):
+            lit_from_var(0)
+        with pytest.raises(ValueError):
+            lit_from_var(-2)
+
+    def test_roundtrip_with_var_and_sign(self):
+        for var in (1, 2, 17):
+            for positive in (True, False):
+                lit = lit_from_var(var, positive)
+                assert lit_var(lit) == var
+                assert lit_sign(lit) == positive
+
+
+class TestIsValidLit:
+    def test_valid(self):
+        assert is_valid_lit(1)
+        assert is_valid_lit(-100)
+
+    def test_invalid(self):
+        assert not is_valid_lit(0)
+        assert not is_valid_lit("3")
+        assert not is_valid_lit(None)

@@ -1,0 +1,68 @@
+"""Tests for the top-level package API and module exports."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro import IC3, BMC, KInduction, IC3Options, CheckResult
+
+
+class TestTopLevelExports:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_engines_importable_from_top_level(self):
+        from repro.benchgen import token_ring
+
+        case = token_ring(3)
+        assert IC3(case.aig, IC3Options()).check().result == CheckResult.SAFE
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.logic",
+            "repro.sat",
+            "repro.aiger",
+            "repro.ts",
+            "repro.core",
+            "repro.benchgen",
+            "repro.harness",
+            "repro.cli",
+        ],
+    )
+    def test_subpackage_exports_resolvable(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro",
+            "repro.logic.cube",
+            "repro.sat.solver",
+            "repro.aiger.aig",
+            "repro.ts.system",
+            "repro.core.ic3",
+            "repro.core.predict",
+            "repro.core.generalize",
+            "repro.benchgen.suite",
+            "repro.harness.report",
+        ],
+    )
+    def test_public_modules_have_docstrings(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and len(module.__doc__.strip()) > 40
+
+    def test_layering_logic_does_not_import_engine(self):
+        import repro.logic.cube as cube_module
+
+        source = open(cube_module.__file__).read()
+        assert "repro.core" not in source
+        assert "repro.sat" not in source

@@ -1,0 +1,58 @@
+"""Tests for DIMACS parsing, loading and writing."""
+
+import pytest
+
+from repro.logic import CNF
+from repro.sat import parse_dimacs, write_dimacs
+from repro.sat.dimacs import load_dimacs
+from repro.sat.exceptions import SolverError
+
+
+class TestParseDimacs:
+    def test_basic(self):
+        num_vars, clauses = parse_dimacs("p cnf 3 2\n1 -2 0\n2 3 0\n")
+        assert num_vars == 3
+        assert clauses == [[1, -2], [2, 3]]
+
+    def test_comments_skipped(self):
+        _, clauses = parse_dimacs("c hello\nc world\np cnf 1 1\n1 0\n")
+        assert clauses == [[1]]
+
+    def test_missing_header_tolerated(self):
+        num_vars, clauses = parse_dimacs("1 2 0\n-2 0\n")
+        assert num_vars == 2
+        assert clauses == [[1, 2], [-2]]
+
+    def test_num_vars_grows_with_literals(self):
+        num_vars, _ = parse_dimacs("p cnf 2 1\n1 9 0\n")
+        assert num_vars == 9
+
+    def test_malformed_header_rejected(self):
+        with pytest.raises(SolverError):
+            parse_dimacs("p cnf x\n1 0\n")
+
+    def test_unterminated_final_clause(self):
+        _, clauses = parse_dimacs("p cnf 2 1\n1 2\n")
+        assert clauses == [[1, 2]]
+
+
+class TestLoadAndWrite:
+    def test_load_into_solver(self, tmp_path):
+        path = tmp_path / "formula.cnf"
+        path.write_text("p cnf 2 2\n1 2 0\n-1 0\n")
+        solver = load_dimacs(path)
+        assert solver.solve() is True
+        assert solver.model_value(2) is True
+
+    def test_write_and_reload(self, tmp_path):
+        cnf = CNF([[1, -3], [2]])
+        path = tmp_path / "out.cnf"
+        write_dimacs(cnf, path)
+        num_vars, clauses = parse_dimacs(path.read_text())
+        assert num_vars == 3
+        assert sorted(map(sorted, clauses)) == sorted(map(sorted, [[1, -3], [2]]))
+
+    def test_unsat_file(self, tmp_path):
+        path = tmp_path / "unsat.cnf"
+        path.write_text("p cnf 1 2\n1 0\n-1 0\n")
+        assert load_dimacs(path).solve() is False

@@ -1,0 +1,32 @@
+"""Tests for the Luby restart sequence."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sat import luby
+
+
+class TestLuby:
+    def test_known_prefix(self):
+        expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 1]
+        assert [luby(i) for i in range(len(expected))] == expected
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            luby(-1)
+
+    def test_values_are_powers_of_two(self):
+        for i in range(200):
+            value = luby(i)
+            assert value & (value - 1) == 0
+
+    @given(st.integers(min_value=0, max_value=2000))
+    def test_self_similarity(self, i):
+        """The sequence ends each block of length 2^k - 1 with 2^(k-1)."""
+        value = luby(i)
+        assert value >= 1
+
+    def test_block_structure(self):
+        # Element at index 2^k - 2 equals 2^(k-1) (end of each complete block).
+        for k in range(1, 10):
+            assert luby((1 << k) - 2) == 1 << (k - 1)

@@ -1,0 +1,216 @@
+"""Tests for the transition-system encoding.
+
+The key property is that the CNF encoding agrees with circuit simulation:
+a SAT model of ``state ∧ inputs ∧ T`` must assign the primed variables the
+same values the simulator computes, and the bad literal must match the
+simulated bad signal.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aiger import AIG
+from repro.benchgen import token_ring, fifo_controller, modular_counter
+from repro.logic import Clause, Cube
+from repro.sat import Solver
+from repro.ts import TransitionSystem, EncodingError
+
+
+def _toggle_system():
+    aig = AIG()
+    enable = aig.add_input("enable")
+    latch = aig.add_latch(init=0)
+    aig.set_latch_next(latch, aig.xor_gate(latch, enable))
+    aig.add_bad(latch)
+    return aig, enable, latch
+
+
+class TestEncodingBasics:
+    def test_variable_partition(self):
+        aig, _, _ = _toggle_system()
+        ts = TransitionSystem(aig)
+        assert len(ts.input_vars) == 1
+        assert len(ts.latch_vars) == 1
+        assert len(ts.next_state_variables) == 1
+        assert set(ts.latch_vars).isdisjoint(ts.input_vars)
+        assert set(ts.latch_vars).isdisjoint(ts.next_state_variables)
+
+    def test_requires_bad_or_output(self):
+        aig = AIG()
+        latch = aig.add_latch()
+        aig.set_latch_next(latch, latch)
+        with pytest.raises(EncodingError):
+            TransitionSystem(aig)
+
+    def test_output_used_as_bad_when_no_bad_declared(self):
+        aig = AIG()
+        latch = aig.add_latch()
+        aig.set_latch_next(latch, latch)
+        aig.add_output(latch)
+        ts = TransitionSystem(aig)
+        assert ts.bad_lit in (ts.latch_vars[0], -ts.latch_vars[0])
+
+    def test_property_index_out_of_range(self):
+        aig, _, _ = _toggle_system()
+        with pytest.raises(EncodingError):
+            TransitionSystem(aig, property_index=3)
+
+    def test_init_cube_respects_reset_values(self):
+        aig = AIG()
+        l0 = aig.add_latch(init=0)
+        l1 = aig.add_latch(init=1)
+        lx = aig.add_latch(init=None)
+        for latch in (l0, l1, lx):
+            aig.set_latch_next(latch, latch)
+        aig.add_bad(l0)
+        ts = TransitionSystem(aig)
+        assert len(ts.init_cube) == 2  # the uninitialised latch is unconstrained
+        values = {abs(l): l > 0 for l in ts.init_cube}
+        assert values[ts.latch_vars[0]] is False
+        assert values[ts.latch_vars[1]] is True
+
+    def test_describe_mentions_counts(self):
+        aig, _, _ = _toggle_system()
+        assert "latches=1" in TransitionSystem(aig).describe()
+
+
+class TestPriming:
+    def test_prime_and_unprime_roundtrip(self):
+        ts = TransitionSystem(token_ring(3).aig)
+        for var in ts.latch_vars:
+            assert ts.unprime_lit(ts.prime_lit(var)) == var
+            assert ts.unprime_lit(ts.prime_lit(-var)) == -var
+
+    def test_prime_cube(self):
+        ts = TransitionSystem(token_ring(3).aig)
+        cube = Cube([ts.latch_vars[0], -ts.latch_vars[1]])
+        primed = ts.prime_cube(cube)
+        assert ts.unprime_cube(primed) == cube
+
+    def test_prime_non_latch_rejected(self):
+        ts = TransitionSystem(token_ring(3).aig)
+        with pytest.raises(EncodingError):
+            ts.prime_lit(ts.input_vars[0]) if ts.input_vars else ts.prime_lit(10**6)
+
+    def test_is_state_lit(self):
+        ts = TransitionSystem(fifo_controller(2).aig)
+        assert all(ts.is_state_lit(v) for v in ts.latch_vars)
+        assert all(ts.is_state_lit(-v) for v in ts.latch_vars)
+        assert not any(ts.is_state_lit(v) for v in ts.input_vars)
+
+
+class TestInitReasoning:
+    def test_cube_intersects_init(self):
+        ts = TransitionSystem(token_ring(3).aig)
+        # Initial state: token in stage 0 only.
+        init_like = Cube([ts.latch_vars[0]])
+        not_init = Cube([-ts.latch_vars[0]])
+        assert ts.cube_intersects_init(init_like)
+        assert not ts.cube_intersects_init(not_init)
+
+    def test_empty_cube_intersects_init(self):
+        ts = TransitionSystem(token_ring(3).aig)
+        assert ts.cube_intersects_init(Cube())
+
+    def test_clause_holds_on_init(self):
+        ts = TransitionSystem(token_ring(3).aig)
+        holds = Clause([ts.latch_vars[0]])          # token0 is 1 initially
+        fails = Clause([ts.latch_vars[1]])          # token1 is 0 initially
+        assert ts.clause_holds_on_init(holds)
+        assert not ts.clause_holds_on_init(fails)
+
+    def test_init_clauses_are_units(self):
+        ts = TransitionSystem(fifo_controller(2).aig)
+        assert all(len(c) == 1 for c in ts.init_clauses())
+        assert len(ts.init_clauses()) == len(ts.init_cube)
+
+
+class TestEncodingAgreesWithSimulation:
+    def _solver_for(self, ts):
+        solver = Solver()
+        solver.ensure_var(ts.num_vars)
+        for clause in ts.trans:
+            solver.add_clause(clause.literals)
+        return solver
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=7), st.booleans())
+    def test_toggle_circuit_next_state(self, state_bits, enable):
+        aig, enable_lit, latch_lit = _toggle_system()
+        ts = TransitionSystem(aig)
+        solver = self._solver_for(ts)
+        latch_var = ts.latch_vars[0]
+        input_var = ts.input_vars[0]
+        current = bool(state_bits & 1)
+
+        assumptions = [
+            latch_var if current else -latch_var,
+            input_var if enable else -input_var,
+        ]
+        assert solver.solve(assumptions)
+        model = solver.get_model()
+        primed_value = model[ts.primed_of[latch_var]]
+        assert primed_value == (current ^ enable)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=3), st.booleans(), st.booleans())
+    def test_fifo_counter_next_state_matches_simulation(self, count, push, pop):
+        case = fifo_controller(2)
+        ts = TransitionSystem(case.aig)
+        solver = self._solver_for(ts)
+
+        state_literals = []
+        latch_values = {}
+        for index, (latch, var) in enumerate(zip(case.aig.latches, ts.latch_vars)):
+            value = bool((count >> index) & 1)
+            latch_values[latch.lit] = value
+            state_literals.append(var if value else -var)
+        input_assignment = {case.aig.inputs[0]: push, case.aig.inputs[1]: pop}
+        input_literals = [
+            var if value else -var
+            for var, value in zip(ts.input_vars, (push, pop))
+        ]
+
+        assert solver.solve(state_literals + input_literals)
+        model = solver.get_model()
+
+        # Reference: evaluate the circuit directly.
+        values = case.aig._evaluate_combinational(input_assignment, latch_values)
+        for latch, var in zip(case.aig.latches, ts.latch_vars):
+            assert model[ts.primed_of[var]] == values[latch.next]
+        assert (model.get(abs(ts.bad_lit), False) == (ts.bad_lit > 0)) == values[
+            case.aig.bads[0]
+        ]
+
+    def test_bad_literal_matches_simulation_for_counter(self):
+        case = modular_counter(3, modulus=6, bad_value=2)
+        ts = TransitionSystem(case.aig)
+        solver = self._solver_for(ts)
+        # State "2" must satisfy the bad cone, state "1" must not.
+        for value, expect_bad in [(2, True), (1, False)]:
+            assumptions = []
+            for index, var in enumerate(ts.latch_vars):
+                bit = bool((value >> index) & 1)
+                assumptions.append(var if bit else -var)
+            assumptions.append(ts.bad_lit if expect_bad else -ts.bad_lit)
+            assert solver.solve(assumptions)
+
+
+class TestModelProjection:
+    def test_state_and_input_cubes_from_model(self):
+        case = token_ring(3)
+        ts = TransitionSystem(case.aig)
+        solver = Solver()
+        solver.ensure_var(ts.num_vars)
+        for clause in ts.trans:
+            solver.add_clause(clause.literals)
+        for lit in ts.init_cube:
+            solver.add_clause([lit])
+        assert solver.solve()
+        model = solver.get_model()
+        state = ts.state_cube_from_model(model)
+        assert len(state) == len(ts.latch_vars)
+        assert ts.cube_intersects_init(state)
+        succ = ts.state_cube_from_model(model, primed=True)
+        assert len(succ) == len(ts.latch_vars)
+        assert all(abs(l) in ts.primed_of for l in succ)  # over current vars
