@@ -3,10 +3,15 @@
 ``repro-check`` exposes the three things a user typically wants from the
 command line:
 
-* ``repro-check check model.aag`` — model-check one AIGER file with IC3
-  (optionally with lemma prediction) and print the verdict;
+* ``repro-check check model.aag`` — model-check one AIGER file with any
+  registered engine (``--engine ic3|ic3-pl|bmc|kind|portfolio``; the
+  portfolio races engines across ``--jobs`` worker processes and reports
+  which member won);
 * ``repro-check evaluate`` — run the paper's evaluation harness on the
-  synthetic suite and print Tables 1/2 and the figure summaries;
+  synthetic suite and print Tables 1/2 and the figure summaries.
+  ``--jobs N`` parallelizes the configurations × cases cross product over
+  worker processes with hard per-case timeouts, and ``--output run.json``
+  records a machine-readable manifest of the run;
 * ``repro-check suite --list`` — show the benchmark suite.
 """
 
@@ -14,14 +19,16 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro.aiger.parser import read_aiger
 from repro.benchgen.suite import default_suite, quick_suite
-from repro.core.ic3 import IC3
-from repro.core.bmc import BMC
 from repro.core.options import IC3Options
 from repro.core.result import CheckResult
+from repro.engines import available_engines, create_engine
+from repro.harness.configs import paper_configurations
+from repro.harness.manifest import build_manifest, write_manifest
 from repro.harness.report import run_paper_evaluation
 
 
@@ -37,18 +44,37 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("model", help="path to an .aag or .aig file")
     check.add_argument(
         "--engine",
-        choices=["ic3", "ic3-pl", "bmc"],
+        choices=available_engines(include_aliases=True),
         default="ic3-pl",
         help="engine to use (default: ic3-pl)",
     )
     check.add_argument("--timeout", type=float, default=None, help="time limit in seconds")
     check.add_argument("--max-depth", type=int, default=50, help="BMC depth bound")
+    check.add_argument("--max-k", type=int, default=20, help="k-induction bound")
+    check.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="portfolio worker processes (default: one per member engine)",
+    )
     check.add_argument("--verbose", action="store_true", help="per-frame progress")
 
     evaluate = sub.add_parser("evaluate", help="run the paper evaluation harness")
     evaluate.add_argument("--timeout", type=float, default=5.0, help="per-case timeout")
     evaluate.add_argument(
         "--quick", action="store_true", help="use the small smoke-test suite"
+    )
+    evaluate.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="parallel worker processes (0 = one per CPU; default: 1)",
+    )
+    evaluate.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write a machine-readable JSON run manifest to PATH",
     )
     evaluate.add_argument(
         "--validate", action="store_true", help="validate certificates and traces"
@@ -73,15 +99,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     return 2  # pragma: no cover - argparse enforces the choices
 
 
+def _engine_kwargs(args: argparse.Namespace) -> dict:
+    """Per-kind construction keywords for the ``check`` subcommand."""
+    if args.engine == "bmc":
+        return {"max_depth": args.max_depth}
+    if args.engine in ("kind", "k-induction"):
+        return {"max_k": args.max_k}
+    if args.engine == "portfolio":
+        return {
+            "jobs": args.jobs,
+            "member_kwargs": {
+                "bmc": {"max_depth": args.max_depth},
+                "kind": {"max_k": args.max_k},
+            },
+        }
+    return {}
+
+
 def _command_check(args: argparse.Namespace) -> int:
     aig = read_aiger(args.model)
-    if args.engine == "bmc":
-        outcome = BMC(aig).check(max_depth=args.max_depth, time_limit=args.timeout)
-    else:
-        options = IC3Options(verbose=1 if args.verbose else 0)
-        if args.engine == "ic3-pl":
-            options = options.with_prediction()
-        outcome = IC3(aig, options).check(time_limit=args.timeout)
+    options = IC3Options(verbose=1 if args.verbose else 0)
+    engine = create_engine(args.engine, aig, options=options, **_engine_kwargs(args))
+    outcome = engine.check(time_limit=args.timeout)
     print(outcome.summary())
     if outcome.result == CheckResult.UNSAFE:
         return 1
@@ -92,18 +131,39 @@ def _command_check(args: argparse.Namespace) -> int:
 
 def _command_evaluate(args: argparse.Namespace) -> int:
     cases = quick_suite() if args.quick else default_suite()
+    start = time.perf_counter()
     report = run_paper_evaluation(
         cases=cases,
         timeout=args.timeout,
         validate=args.validate,
         verbose=args.verbose,
+        jobs=args.jobs,
     )
+    wall_clock = time.perf_counter() - start
     print(report.to_text())
+    if args.output:
+        manifest = build_manifest(
+            report.suite_result,
+            suite="quick" if args.quick else "default",
+            jobs=args.jobs,
+            validate=args.validate,
+            configs=paper_configurations(),
+            wall_clock=wall_clock,
+        )
+        write_manifest(args.output, manifest)
+        print(f"\nRun manifest written to {args.output}")
+    exit_code = 0
+    crashed = [r for r in report.suite_result.results if r.error]
+    if crashed:
+        print(f"\nWARNING: {len(crashed)} worker(s) crashed instead of reporting:")
+        for result in crashed[:10]:
+            print(f"  {result.config_name} / {result.case_name}: {result.error}")
+        exit_code = 1
     wrong = report.suite_result.incorrect_results()
     if wrong:
         print(f"\nWARNING: {len(wrong)} results contradict the ground truth")
-        return 1
-    return 0
+        exit_code = 1
+    return exit_code
 
 
 def _command_suite(args: argparse.Namespace) -> int:

@@ -98,6 +98,9 @@ class CheckOutcome:
     reason: str = ""
     """Free-form explanation for UNKNOWN results (timeout, budget, ...)."""
 
+    winner: Optional[str] = None
+    """For portfolio runs: name of the member engine that produced the verdict."""
+
     @property
     def solved(self) -> bool:
         """True if the verdict is SAFE or UNSAFE."""
@@ -112,4 +115,6 @@ class CheckOutcome:
             parts.append(f"counterexample of depth {self.trace.depth}")
         if self.result == CheckResult.UNKNOWN and self.reason:
             parts.append(self.reason)
+        if self.winner:
+            parts.append(f"won by {self.winner}")
         return ", ".join(parts)

@@ -1,0 +1,106 @@
+"""Adapters that put the core engines behind the uniform Engine protocol.
+
+The concrete algorithms stay in :mod:`repro.core` (and remain importable
+from there); each adapter normalizes one of them to the ``(aig, *,
+options, property_index, **kwargs)`` construction and ``check(time_limit)``
+call shape that the registry, the harness and the portfolio expect.
+Engine-specific knobs (BMC's ``max_depth``, k-induction's ``max_k``)
+become constructor keywords instead of ``check()`` arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.aiger.aig import AIG
+from repro.core.bmc import BMC
+from repro.core.ic3 import IC3
+from repro.core.kinduction import KInduction
+from repro.core.options import IC3Options
+from repro.core.result import CheckOutcome
+from repro.engines.registry import register_engine
+
+
+class IC3Engine:
+    """IC3/PDR behind the Engine protocol (optionally with lemma prediction)."""
+
+    def __init__(
+        self,
+        aig: AIG,
+        options: Optional[IC3Options] = None,
+        property_index: int = 0,
+        name: Optional[str] = None,
+        **_ignored,
+    ):
+        self.options = options if options is not None else IC3Options()
+        self.name = name or ("ic3-pl" if self.options.enable_prediction else "ic3")
+        self._engine = IC3(aig, self.options, property_index=property_index)
+
+    def check(self, time_limit: Optional[float] = None) -> CheckOutcome:
+        outcome = self._engine.check(time_limit=time_limit)
+        outcome.engine = self.name
+        return outcome
+
+
+class BMCEngine:
+    """Bounded model checking behind the Engine protocol."""
+
+    name = "bmc"
+
+    def __init__(
+        self,
+        aig: AIG,
+        options: Optional[IC3Options] = None,
+        property_index: int = 0,
+        max_depth: int = 50,
+        **_ignored,
+    ):
+        self.max_depth = max_depth
+        self._engine = BMC(aig, property_index=property_index)
+
+    def check(self, time_limit: Optional[float] = None) -> CheckOutcome:
+        return self._engine.check(max_depth=self.max_depth, time_limit=time_limit)
+
+
+class KInductionEngine:
+    """k-induction behind the Engine protocol."""
+
+    name = "kind"
+
+    def __init__(
+        self,
+        aig: AIG,
+        options: Optional[IC3Options] = None,
+        property_index: int = 0,
+        max_k: int = 20,
+        **_ignored,
+    ):
+        self.max_k = max_k
+        self._engine = KInduction(aig, property_index=property_index)
+
+    def check(self, time_limit: Optional[float] = None) -> CheckOutcome:
+        return self._engine.check(max_k=self.max_k, time_limit=time_limit)
+
+
+# ----------------------------------------------------------------------
+# Default registrations
+# ----------------------------------------------------------------------
+@register_engine("ic3")
+def _make_ic3(aig: AIG, options: Optional[IC3Options] = None, **kwargs) -> IC3Engine:
+    return IC3Engine(aig, options=options, name="ic3", **kwargs)
+
+
+@register_engine("ic3-pl")
+def _make_ic3_pl(aig: AIG, options: Optional[IC3Options] = None, **kwargs) -> IC3Engine:
+    options = (options if options is not None else IC3Options()).with_prediction()
+    return IC3Engine(aig, options=options, name="ic3-pl", **kwargs)
+
+
+@register_engine("bmc")
+def _make_bmc(aig: AIG, **kwargs) -> BMCEngine:
+    return BMCEngine(aig, **kwargs)
+
+
+@register_engine("kind", aliases=("k-induction",))
+def _make_kind(aig: AIG, **kwargs) -> KInductionEngine:
+    return KInductionEngine(aig, **kwargs)

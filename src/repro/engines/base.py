@@ -1,0 +1,47 @@
+"""The engine abstraction shared by every model checker in this package.
+
+Historically IC3, BMC and k-induction were three unrelated classes with
+ad-hoc constructor and ``check()`` signatures.  The :class:`Engine`
+protocol pins down the one contract the harness, the CLI and the
+portfolio racer rely on:
+
+* an engine is constructed from an AIG (plus keyword configuration) and
+  is ready to run afterwards;
+* ``name`` identifies the engine in outcomes, tables and logs;
+* ``check(time_limit)`` runs the verification and returns a
+  :class:`~repro.core.result.CheckOutcome` whose ``result`` is SAFE,
+  UNSAFE or UNKNOWN.
+
+``time_limit`` is a *cooperative* budget: engines are expected to poll it
+between SAT calls and give up with UNKNOWN, but a single runaway SAT query
+may overshoot.  Hard (worker-enforced) budgets are the job of
+:mod:`repro.harness.pool`, which runs engines in killable subprocesses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.core.result import CheckOutcome
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """Structural interface of a model-checking engine.
+
+    Any object with a ``name`` attribute and a ``check(time_limit)``
+    method satisfies the protocol — the adapters in
+    :mod:`repro.engines.adapters` wrap the concrete core engines, and
+    user code can register its own implementations with
+    :func:`repro.engines.registry.register_engine`.
+    """
+
+    name: str
+
+    def check(self, time_limit: Optional[float] = None) -> CheckOutcome:
+        """Run the engine under a cooperative time budget (None = unbounded)."""
+        ...
+
+
+class EngineError(Exception):
+    """Raised for engine construction/registry failures."""

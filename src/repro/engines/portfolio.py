@@ -1,0 +1,201 @@
+"""Portfolio solving: race several engines, first definite verdict wins.
+
+IC3, BMC and k-induction have complementary strengths — BMC finds shallow
+counterexamples fastest, k-induction proves shallow inductive properties
+with two SAT calls per bound, IC3 handles everything else.  The
+:class:`PortfolioEngine` runs the registered member engines concurrently
+in separate OS processes (real parallelism; the pure-Python SAT solver
+holds the GIL), returns as soon as any member reaches SAFE or UNSAFE,
+terminates the losers, and records the winner in
+:attr:`~repro.core.result.CheckOutcome.winner`.
+
+A member that errors out or returns UNKNOWN just drops out of the race;
+UNKNOWN is only returned once every member has given up or the time limit
+expired.  The parent enforces the ``time_limit`` *hard* — members stuck
+inside a single SAT call are killed shortly after the budget, so a
+portfolio ``check`` never overshoots the budget by more than a small
+grace period.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.aiger.aig import AIG
+from repro.core.options import IC3Options
+from repro.core.result import CheckOutcome, CheckResult
+from repro.core.stats import IC3Stats
+from repro.engines.registry import canonical_name, create_engine, register_engine
+
+DEFAULT_PORTFOLIO: Tuple[str, ...] = ("ic3-pl", "bmc", "kind")
+
+_POLL_INTERVAL = 0.05
+"""How often the parent re-checks deadlines while waiting on members."""
+
+
+def _run_member(conn, engine_name, aig, options, property_index, time_limit, kwargs):
+    """Subprocess body: build one member engine, run it, ship the outcome back."""
+    try:
+        engine = create_engine(
+            engine_name, aig, options=options, property_index=property_index, **kwargs
+        )
+        outcome = engine.check(time_limit=time_limit)
+        conn.send(("ok", outcome))
+    except BaseException as exc:  # noqa: BLE001 - must not kill the pipe silently
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+class PortfolioEngine:
+    """Races registered engines across processes; first verdict wins."""
+
+    name = "portfolio"
+
+    def __init__(
+        self,
+        aig: AIG,
+        engines: Sequence[str] = DEFAULT_PORTFOLIO,
+        options: Optional[IC3Options] = None,
+        property_index: int = 0,
+        jobs: Optional[int] = None,
+        member_kwargs: Optional[Dict[str, Dict[str, object]]] = None,
+        grace: float = 0.5,
+        **_ignored,
+    ):
+        if not engines:
+            raise ValueError("portfolio needs at least one member engine")
+        canonical = [canonical_name(member) for member in engines]  # fails fast on unknowns
+        if len(set(canonical)) != len(canonical):
+            raise ValueError("portfolio members must be distinct")
+        self.engines = tuple(engines)
+        self.options = options
+        self.property_index = property_index
+        self.jobs = jobs if jobs and jobs > 0 else len(self.engines)
+        self.member_kwargs = dict(member_kwargs or {})
+        self.grace = grace
+        self._aig = aig
+
+    # ------------------------------------------------------------------
+    def check(self, time_limit: Optional[float] = None) -> CheckOutcome:
+        """Race the members; return the first definite verdict."""
+        start = time.perf_counter()
+        deadline = start + time_limit if time_limit is not None else None
+        hard_deadline = (
+            deadline + max(self.grace, 0.05) if deadline is not None else None
+        )
+
+        ctx = multiprocessing.get_context()
+        pending: List[str] = list(self.engines)
+        running: Dict[object, Tuple[str, object]] = {}  # conn -> (name, process)
+        unknown: List[Tuple[str, CheckOutcome]] = []
+        errors: List[Tuple[str, str]] = []
+
+        try:
+            while pending or running:
+                while pending and len(running) < self.jobs:
+                    member = pending.pop(0)
+                    parent_conn, child_conn = ctx.Pipe(duplex=False)
+                    remaining = (
+                        max(0.0, deadline - time.perf_counter())
+                        if deadline is not None
+                        else None
+                    )
+                    proc = ctx.Process(
+                        target=_run_member,
+                        args=(
+                            child_conn,
+                            member,
+                            self._aig,
+                            self.options,
+                            self.property_index,
+                            remaining,
+                            self.member_kwargs.get(member, {}),
+                        ),
+                        daemon=True,
+                        name=f"portfolio-{member}",
+                    )
+                    proc.start()
+                    child_conn.close()
+                    running[parent_conn] = (member, proc)
+
+                ready = multiprocessing.connection.wait(
+                    list(running), timeout=_POLL_INTERVAL
+                )
+                for conn in ready:
+                    member, proc = running.pop(conn)
+                    kind, payload = self._receive(conn)
+                    proc.join(timeout=1.0)
+                    if kind == "ok" and payload.solved:
+                        payload.winner = member
+                        payload.engine = self.name
+                        payload.runtime = time.perf_counter() - start
+                        return payload
+                    if kind == "ok":
+                        unknown.append((member, payload))
+                    else:
+                        errors.append((member, payload))
+
+                if hard_deadline is not None and time.perf_counter() > hard_deadline:
+                    break
+        finally:
+            for conn, (member, proc) in running.items():
+                _terminate(proc)
+                conn.close()
+
+        return self._inconclusive(start, deadline, unknown, errors)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _receive(conn) -> Tuple[str, object]:
+        try:
+            kind, payload = conn.recv()
+        except (EOFError, OSError):
+            kind, payload = "error", "member process died without reporting"
+        finally:
+            conn.close()
+        return kind, payload
+
+    def _inconclusive(self, start, deadline, unknown, errors) -> CheckOutcome:
+        stats = IC3Stats()
+        frames = 0
+        for _, outcome in unknown:
+            stats = stats.merge(outcome.stats)
+            frames = max(frames, outcome.frames)
+        if deadline is not None and time.perf_counter() > deadline:
+            reason = "time limit reached"
+        else:
+            parts = [f"{name}: {o.reason or 'unknown'}" for name, o in unknown]
+            parts += [f"{name}: {message}" for name, message in errors]
+            reason = "no member reached a verdict (" + "; ".join(parts) + ")"
+        return CheckOutcome(
+            result=CheckResult.UNKNOWN,
+            runtime=time.perf_counter() - start,
+            frames=frames,
+            stats=stats,
+            engine=self.name,
+            reason=reason,
+        )
+
+
+def _terminate(proc) -> None:
+    """Stop a member process, escalating to SIGKILL if needed."""
+    if not proc.is_alive():
+        proc.join(timeout=0.1)
+        return
+    proc.terminate()
+    proc.join(timeout=1.0)
+    if proc.is_alive():
+        proc.kill()
+        proc.join(timeout=1.0)
+
+
+@register_engine("portfolio")
+def _make_portfolio(aig: AIG, **kwargs) -> PortfolioEngine:
+    return PortfolioEngine(aig, **kwargs)

@@ -10,10 +10,18 @@ prediction statistics, and derives:
 * Figure 2 — cactus data (cases solved within a time limit);
 * Figure 3 — scatter data (runtime with vs. without prediction);
 * Figure 4 — runtime ratio vs. SR_adv with the cumulative improved count.
+
+Execution is process-parallel: every (configuration, case) pair runs in
+its own killable worker (:mod:`repro.harness.pool`) so per-case budgets
+are enforced hard, ``jobs=N`` spreads pairs over N cores, and results are
+assembled in deterministic order.  :mod:`repro.harness.manifest` records
+machine-readable JSON manifests of evaluation runs.
 """
 
 from repro.harness.configs import EngineConfig, paper_configurations, prediction_pairs
 from repro.harness.runner import BenchmarkRunner, CaseResult, SuiteResult
+from repro.harness.pool import PoolResult, map_with_hard_timeout
+from repro.harness.manifest import build_manifest, write_manifest
 from repro.harness.tables import summary_table, success_rate_table, Table
 from repro.harness.figures import cactus_data, scatter_data, ratio_vs_sradv
 from repro.harness.report import PaperReport, run_paper_evaluation
@@ -25,6 +33,10 @@ __all__ = [
     "BenchmarkRunner",
     "CaseResult",
     "SuiteResult",
+    "PoolResult",
+    "map_with_hard_timeout",
+    "build_manifest",
+    "write_manifest",
     "Table",
     "summary_table",
     "success_rate_table",

@@ -12,24 +12,32 @@ the substitution rationale).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.options import IC3Options
 
 
 @dataclass
 class EngineConfig:
-    """A named engine configuration."""
+    """A named engine configuration.
+
+    ``engine`` is a registry kind from :mod:`repro.engines` (``"ic3"``,
+    ``"bmc"``, ``"kind"``, ``"portfolio"``, ...); ``options`` configures
+    IC3-based engines and is ignored by the others; ``engine_kwargs`` is
+    forwarded verbatim to the engine factory (e.g. BMC's ``max_depth``).
+    """
 
     name: str
-    options: IC3Options
+    options: Optional[IC3Options] = None
     plays_role_of: str = ""
     description: str = ""
+    engine: str = "ic3"
+    engine_kwargs: Dict[str, object] = field(default_factory=dict)
 
     @property
     def uses_prediction(self) -> bool:
         """True if this configuration has the paper's optimization enabled."""
-        return self.options.enable_prediction
+        return self.options is not None and self.options.enable_prediction
 
 
 def paper_configurations() -> List[EngineConfig]:

@@ -1,0 +1,92 @@
+"""Machine-readable run manifests.
+
+``repro-check evaluate --output run.json`` records everything needed to
+track performance across PRs (the ``BENCH_*.json`` trajectory): the suite
+and harness parameters, per-case verdicts and runtimes, and per-
+configuration totals.  The schema is versioned so future readers can
+evolve without guessing.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Optional, Sequence
+
+from repro.harness.configs import EngineConfig
+from repro.harness.runner import SuiteResult
+
+MANIFEST_SCHEMA = "repro-check/manifest/v1"
+
+
+def build_manifest(
+    suite_result: SuiteResult,
+    *,
+    suite: str = "custom",
+    jobs: int = 1,
+    validate: bool = False,
+    configs: Optional[Sequence[EngineConfig]] = None,
+    wall_clock: Optional[float] = None,
+) -> Dict[str, object]:
+    """Assemble the JSON-serializable manifest of one harness run."""
+    config_meta = {
+        config.name: {
+            "engine": config.engine,
+            "plays_role_of": config.plays_role_of,
+            "uses_prediction": config.uses_prediction,
+        }
+        for config in (configs or [])
+    }
+    results = [
+        {
+            "case": r.case_name,
+            "config": r.config_name,
+            "result": r.result.value,
+            "runtime": round(r.runtime, 6),
+            "penalized_runtime": round(r.penalized_runtime, 6),
+            "frames": r.frames,
+            "engine": r.engine,
+            "solved": r.solved,
+            "correct": r.correct,
+            "validated": r.validated,
+            "error": r.error,
+        }
+        for r in suite_result.results
+    ]
+    totals = {
+        name: {
+            "solved": suite_result.solved_count(name),
+            "safe": sum(
+                1 for r in suite_result.by_config(name) if r.result.value == "safe"
+            ),
+            "unsafe": sum(
+                1 for r in suite_result.by_config(name) if r.result.value == "unsafe"
+            ),
+            "wrong": sum(1 for r in suite_result.by_config(name) if not r.correct),
+            "par1_time": round(
+                sum(r.penalized_runtime for r in suite_result.by_config(name)), 6
+            ),
+        }
+        for name in suite_result.configs()
+    }
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "suite": suite,
+        "timeout": suite_result.timeout,
+        "jobs": jobs,
+        "validate": validate,
+        "num_cases": len(suite_result.cases()),
+        "num_configs": len(suite_result.configs()),
+        "configs": config_meta,
+        "totals": totals,
+        "results": results,
+        "wall_clock": round(wall_clock, 6) if wall_clock is not None else None,
+    }
+
+
+def write_manifest(path: str, manifest: Dict[str, object]) -> None:
+    """Write a manifest dictionary as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=False)
+        handle.write("\n")

@@ -1,0 +1,181 @@
+"""A small process pool with *hard* per-task timeouts.
+
+``concurrent.futures.ProcessPoolExecutor`` cannot kill a worker that is
+stuck inside a single long SAT call — a cancelled future only prevents a
+task from starting.  The benchmark harness needs the opposite guarantee:
+a case whose budget is ``t`` seconds must terminate within roughly ``t``
+plus a short grace period even if the engine never polls its cooperative
+deadline.  This module therefore runs **one forked process per task**,
+bounded to ``jobs`` concurrent workers, and enforces deadlines from the
+parent with process-group kills (so nested children, e.g. portfolio
+members, die with their worker).
+
+Results come back over a pipe in completion order and are re-assembled in
+task order, which makes downstream tables deterministic regardless of
+scheduling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+_POLL_INTERVAL = 0.05
+
+
+@dataclass
+class PoolResult:
+    """Outcome of one pooled task."""
+
+    value: Any = None
+    elapsed: float = 0.0
+    timed_out: bool = False
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True if the worker returned a value (no kill, no exception)."""
+        return not self.timed_out and self.error is None
+
+
+def default_grace(timeout: float) -> float:
+    """Extra seconds granted past the cooperative budget before a hard kill.
+
+    Half the budget, clamped to [0.2 s, 5 s]: tight enough that a stuck
+    worker dies within ~1.5x its budget, loose enough that an engine
+    finishing a final SAT call just past the deadline still reports its
+    own UNKNOWN instead of being killed mid-result.
+    """
+    return min(5.0, max(0.2, 0.5 * timeout))
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a jobs request (None or <=0 means one per CPU)."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _worker_shim(conn, worker, payload):
+    """Subprocess body: isolate a process group, run the task, ship the result."""
+    try:
+        os.setpgid(0, 0)
+    except OSError:  # pragma: no cover - already a group leader
+        pass
+    try:
+        conn.send(("ok", worker(payload)))
+    except BaseException as exc:  # noqa: BLE001 - report, never hang the pipe
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+def _kill_hard(proc) -> None:
+    """SIGKILL a worker and its entire process group."""
+    if proc.pid is not None:
+        try:
+            os.killpg(proc.pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError, OSError):
+            pass
+    if proc.is_alive():
+        proc.kill()
+    proc.join(timeout=1.0)
+
+
+def map_with_hard_timeout(
+    worker: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    *,
+    timeout: float,
+    jobs: Optional[int] = 1,
+    grace: Optional[float] = None,
+    on_result: Optional[Callable[[int, PoolResult], None]] = None,
+) -> List[PoolResult]:
+    """Run ``worker(payload)`` for every payload under a hard per-task budget.
+
+    At most ``jobs`` workers run concurrently; each gets its own process
+    and is killed (with its process group) ``grace`` seconds after
+    ``timeout``.  ``on_result`` is invoked in *completion* order as
+    results arrive; the returned list is in *task* order.
+    """
+    if timeout <= 0:
+        raise ValueError("timeout must be positive")
+    jobs = resolve_jobs(jobs)
+    if grace is None:
+        grace = default_grace(timeout)
+
+    ctx = multiprocessing.get_context()
+    results: List[Optional[PoolResult]] = [None] * len(payloads)
+    pending = list(enumerate(payloads))
+    running: Dict[object, tuple] = {}  # conn -> (index, proc, start, kill_at)
+
+    def _record(index: int, result: PoolResult) -> None:
+        results[index] = result
+        if on_result is not None:
+            on_result(index, result)
+
+    try:
+        while pending or running:
+            while pending and len(running) < jobs:
+                index, payload = pending.pop(0)
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_worker_shim,
+                    args=(child_conn, worker, payload),
+                    name=f"harness-worker-{index}",
+                )
+                proc.start()
+                child_conn.close()
+                start = time.perf_counter()
+                running[parent_conn] = (index, proc, start, start + timeout + grace)
+
+            ready = multiprocessing.connection.wait(
+                list(running), timeout=_POLL_INTERVAL
+            )
+            for conn in ready:
+                index, proc, start, _ = running.pop(conn)
+                elapsed = time.perf_counter() - start
+                try:
+                    kind, payload = conn.recv()
+                except (EOFError, OSError):
+                    kind, payload = "error", "worker died without reporting"
+                finally:
+                    conn.close()
+                proc.join(timeout=1.0)
+                if proc.is_alive():  # pragma: no cover - defensive
+                    _kill_hard(proc)
+                if kind == "ok":
+                    _record(index, PoolResult(value=payload, elapsed=elapsed))
+                else:
+                    _record(
+                        index, PoolResult(elapsed=elapsed, error=str(payload))
+                    )
+
+            now = time.perf_counter()
+            overdue = [conn for conn, task in running.items() if now > task[3]]
+            for conn in overdue:
+                index, proc, start, _ = running.pop(conn)
+                _kill_hard(proc)
+                conn.close()
+                _record(
+                    index,
+                    PoolResult(elapsed=time.perf_counter() - start, timed_out=True),
+                )
+    finally:
+        for conn, (index, proc, start, _) in running.items():
+            _kill_hard(proc)
+            conn.close()
+            if results[index] is None:
+                results[index] = PoolResult(
+                    elapsed=time.perf_counter() - start, timed_out=True
+                )
+
+    return [result if result is not None else PoolResult(timed_out=True) for result in results]

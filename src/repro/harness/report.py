@@ -91,15 +91,20 @@ def run_paper_evaluation(
     validate: bool = False,
     verbose: bool = False,
     figure4_min_runtime: Optional[float] = None,
+    jobs: int = 1,
 ) -> PaperReport:
-    """Run the full evaluation and return the assembled report."""
+    """Run the full evaluation and return the assembled report.
+
+    ``jobs`` parallelizes the (configuration, case) cross product over
+    worker processes; the report is deterministic for any jobs value.
+    """
     if cases is None:
         cases = default_suite()
     if configs is None:
         configs = paper_configurations()
 
     runner = BenchmarkRunner(
-        cases, configs, timeout=timeout, validate=validate, verbose=verbose
+        cases, configs, timeout=timeout, validate=validate, verbose=verbose, jobs=jobs
     )
     suite_result = runner.run()
     return build_report(

@@ -1,17 +1,27 @@
-"""Benchmark runner: configurations × cases under a per-case time limit."""
+"""Benchmark runner: configurations × cases on a hard-timeout process pool.
+
+Every (configuration, case) pair runs in its own killable worker process
+(see :mod:`repro.harness.pool`), so a per-case budget is enforced even
+when an engine is stuck inside a single SAT call, and ``jobs > 1`` runs
+pairs in parallel on separate cores.  Results are always assembled in the
+deterministic case-major, configuration-minor task order — tables and
+figures come out byte-for-byte identical regardless of how the scheduler
+interleaves completions.
+"""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.benchgen.case import BenchmarkCase
-from repro.core.ic3 import IC3
 from repro.core.invariant import CertificateError, check_certificate, check_counterexample
 from repro.core.result import CheckOutcome, CheckResult
 from repro.core.stats import IC3Stats
+from repro.engines.registry import create_engine
 from repro.harness.configs import EngineConfig
+from repro.harness.pool import PoolResult, map_with_hard_timeout
 
 
 @dataclass
@@ -28,6 +38,12 @@ class CaseResult:
     frames: int = 0
     validated: Optional[bool] = None
     """True/False when the certificate or trace was checked, None if skipped."""
+
+    engine: str = ""
+    """Engine kind that produced the verdict (winner name for portfolios)."""
+
+    error: Optional[str] = None
+    """Worker failure description (crash or hard kill), None on clean runs."""
 
     @property
     def solved(self) -> bool:
@@ -54,45 +70,72 @@ class CaseResult:
 
 @dataclass
 class SuiteResult:
-    """All per-case results of one harness run."""
+    """All per-case results of one harness run.
+
+    Lookups are backed by indexes maintained incrementally on
+    :meth:`add`, so :meth:`lookup`, :meth:`by_case` and :meth:`by_config`
+    are O(1) instead of scanning the whole result list on every call.
+    Appending to ``results`` directly also works (the indexes are rebuilt
+    lazily when the list length changes); same-length in-place mutation
+    of ``results`` is not supported.
+    """
 
     results: List[CaseResult] = field(default_factory=list)
     timeout: float = 0.0
 
+    def __post_init__(self) -> None:
+        self._rebuild_index()
+
+    # -- index maintenance ---------------------------------------------
+    def _rebuild_index(self) -> None:
+        self._pair_index: Dict[Tuple[str, str], CaseResult] = {}
+        self._config_index: Dict[str, List[CaseResult]] = {}
+        self._case_index: Dict[str, Dict[str, CaseResult]] = {}
+        for result in self.results:
+            self._index_one(result)
+        self._indexed_count = len(self.results)
+
+    def _index_one(self, result: CaseResult) -> None:
+        self._pair_index.setdefault((result.config_name, result.case_name), result)
+        self._config_index.setdefault(result.config_name, []).append(result)
+        self._case_index.setdefault(result.case_name, {})[result.config_name] = result
+
+    def _ensure_index(self) -> None:
+        if self._indexed_count != len(self.results):
+            self._rebuild_index()
+
+    # -- accessors ------------------------------------------------------
     def add(self, result: CaseResult) -> None:
-        """Append one case result."""
+        """Append one case result (keeps the lookup indexes current)."""
+        self._ensure_index()
         self.results.append(result)
+        self._index_one(result)
+        self._indexed_count += 1
 
     def configs(self) -> List[str]:
         """Configuration names in first-seen order."""
-        seen: List[str] = []
-        for result in self.results:
-            if result.config_name not in seen:
-                seen.append(result.config_name)
-        return seen
+        self._ensure_index()
+        return list(self._config_index)
 
     def cases(self) -> List[str]:
         """Case names in first-seen order."""
-        seen: List[str] = []
-        for result in self.results:
-            if result.case_name not in seen:
-                seen.append(result.case_name)
-        return seen
+        self._ensure_index()
+        return list(self._case_index)
 
     def by_config(self, config_name: str) -> List[CaseResult]:
         """All results of one configuration."""
-        return [r for r in self.results if r.config_name == config_name]
+        self._ensure_index()
+        return list(self._config_index.get(config_name, ()))
 
     def by_case(self, case_name: str) -> Dict[str, CaseResult]:
         """Results of one case keyed by configuration name."""
-        return {r.config_name: r for r in self.results if r.case_name == case_name}
+        self._ensure_index()
+        return dict(self._case_index.get(case_name, {}))
 
     def lookup(self, config_name: str, case_name: str) -> Optional[CaseResult]:
         """The result of one (configuration, case) pair, if present."""
-        for result in self.results:
-            if result.config_name == config_name and result.case_name == case_name:
-                return result
-        return None
+        self._ensure_index()
+        return self._pair_index.get((config_name, case_name))
 
     def solved_count(self, config_name: str) -> int:
         """Number of cases the configuration solved."""
@@ -103,8 +146,59 @@ class SuiteResult:
         return [r for r in self.results if not r.correct]
 
 
+@dataclass
+class _TaskSpec:
+    """One (case, configuration) work item shipped to a pool worker."""
+
+    case: BenchmarkCase
+    config: EngineConfig
+    timeout: float
+    validate: bool
+
+
+def _execute_case(spec: _TaskSpec) -> CaseResult:
+    """Worker body: run one engine configuration on one case (in-process)."""
+    engine = create_engine(
+        spec.config.engine, spec.case.aig, options=spec.config.options,
+        **spec.config.engine_kwargs,
+    )
+    start = time.perf_counter()
+    outcome = engine.check(time_limit=spec.timeout)
+    runtime = time.perf_counter() - start
+    validated = _validate(spec.case, outcome) if spec.validate else None
+    return CaseResult(
+        case_name=spec.case.name,
+        config_name=spec.config.name,
+        result=outcome.result,
+        runtime=runtime,
+        timeout=spec.timeout,
+        expected=spec.case.expected,
+        stats=outcome.stats,
+        frames=outcome.frames,
+        validated=validated,
+        engine=outcome.winner or outcome.engine,
+    )
+
+
+def _validate(case: BenchmarkCase, outcome: CheckOutcome) -> Optional[bool]:
+    try:
+        if outcome.result == CheckResult.SAFE and outcome.certificate is not None:
+            return check_certificate(case.aig, outcome.certificate)
+        if outcome.result == CheckResult.UNSAFE and outcome.trace is not None:
+            return check_counterexample(case.aig, outcome.trace)
+    except CertificateError:
+        return False
+    return None
+
+
 class BenchmarkRunner:
-    """Runs every configuration on every case of a suite."""
+    """Runs every configuration on every case of a suite.
+
+    ``jobs`` controls how many (configuration, case) pairs run
+    concurrently (``None``/``0`` = one per CPU); each pair runs in its
+    own worker process whose per-case ``timeout`` is enforced with a
+    hard kill ``grace`` seconds past the budget.
+    """
 
     def __init__(
         self,
@@ -113,6 +207,8 @@ class BenchmarkRunner:
         timeout: float = 5.0,
         validate: bool = False,
         verbose: bool = False,
+        jobs: int = 1,
+        grace: Optional[float] = None,
     ):
         if timeout <= 0:
             raise ValueError("timeout must be positive")
@@ -121,49 +217,78 @@ class BenchmarkRunner:
         self.timeout = timeout
         self.validate = validate
         self.verbose = verbose
+        self.jobs = jobs
+        self.grace = grace
 
     def run(self) -> SuiteResult:
-        """Execute the full cross product and return the collected results."""
+        """Execute the full cross product and return the collected results.
+
+        The result list is always in case-major, configuration-minor
+        order, independent of worker completion order.
+        """
+        specs = [
+            _TaskSpec(case=case, config=config, timeout=self.timeout, validate=self.validate)
+            for case in self.cases
+            for config in self.configs
+        ]
+
+        def _progress(index: int, pool_result: PoolResult) -> None:
+            if self.verbose:
+                self._report(self._to_case_result(specs[index], pool_result))
+
+        pool_results = map_with_hard_timeout(
+            _execute_case,
+            specs,
+            timeout=self.timeout,
+            jobs=self.jobs,
+            grace=self.grace,
+            on_result=_progress,
+        )
+
         suite_result = SuiteResult(timeout=self.timeout)
-        for case in self.cases:
-            for config in self.configs:
-                suite_result.add(self.run_one(case, config))
+        for spec, pool_result in zip(specs, pool_results):
+            suite_result.add(self._to_case_result(spec, pool_result))
         return suite_result
 
     def run_one(self, case: BenchmarkCase, config: EngineConfig) -> CaseResult:
-        """Run a single configuration on a single case."""
-        engine = IC3(case.aig, config.options)
-        start = time.perf_counter()
-        outcome = engine.check(time_limit=self.timeout)
-        runtime = time.perf_counter() - start
+        """Run a single configuration on a single case in this process.
 
-        validated = self._validate(case, outcome) if self.validate else None
-        result = CaseResult(
-            case_name=case.name,
-            config_name=config.name,
-            result=outcome.result,
-            runtime=runtime,
-            timeout=self.timeout,
-            expected=case.expected,
-            stats=outcome.stats,
-            frames=outcome.frames,
-            validated=validated,
+        Unlike :meth:`run` this enforces the timeout only cooperatively;
+        it exists for interactive use and backward compatibility.
+        """
+        result = _execute_case(
+            _TaskSpec(case=case, config=config, timeout=self.timeout, validate=self.validate)
         )
         if self.verbose:
-            flag = "" if result.correct else "  << WRONG"
-            print(
-                f"[harness] {config.name:14s} {case.name:30s} "
-                f"{outcome.result.value:8s} {runtime:7.2f}s{flag}"
-            )
+            self._report(result)
         return result
 
+    # ------------------------------------------------------------------
     @staticmethod
-    def _validate(case: BenchmarkCase, outcome: CheckOutcome) -> Optional[bool]:
-        try:
-            if outcome.result == CheckResult.SAFE and outcome.certificate is not None:
-                return check_certificate(case.aig, outcome.certificate)
-            if outcome.result == CheckResult.UNSAFE and outcome.trace is not None:
-                return check_counterexample(case.aig, outcome.trace)
-        except CertificateError:
-            return False
-        return None
+    def _to_case_result(spec: _TaskSpec, pool_result: PoolResult) -> CaseResult:
+        if pool_result.ok:
+            return pool_result.value
+        if pool_result.timed_out:
+            error = None
+        else:
+            error = pool_result.error
+        return CaseResult(
+            case_name=spec.case.name,
+            config_name=spec.config.name,
+            result=CheckResult.UNKNOWN,
+            runtime=pool_result.elapsed,
+            timeout=spec.timeout,
+            expected=spec.case.expected,
+            engine=spec.config.engine,
+            error=error,
+        )
+
+    @staticmethod
+    def _report(result: CaseResult) -> None:
+        flag = "" if result.correct else "  << WRONG"
+        if result.error:
+            flag = f"  << ERROR: {result.error}"
+        print(
+            f"[harness] {result.config_name:14s} {result.case_name:30s} "
+            f"{result.result.value:8s} {result.runtime:7.2f}s{flag}"
+        )

@@ -56,6 +56,27 @@ class TestCheckCommand:
     def test_bmc_engine_inconclusive_on_safe(self, safe_model):
         assert main(["check", safe_model, "--engine", "bmc", "--max-depth", "3"]) == 2
 
+    def test_kinduction_engine(self, safe_model, capsys):
+        assert main(["check", safe_model, "--engine", "kind"]) == 0
+        assert "k-induction" in capsys.readouterr().out
+
+    def test_kinduction_alias(self, safe_model):
+        assert main(["check", safe_model, "--engine", "k-induction"]) == 0
+
+    def test_kinduction_max_k_flag(self, safe_model):
+        args = build_parser().parse_args(["check", safe_model, "--max-k", "5"])
+        assert args.max_k == 5
+
+    def test_portfolio_engine_on_unsafe(self, unsafe_model, capsys):
+        assert main(["check", unsafe_model, "--engine", "portfolio"]) == 1
+        out = capsys.readouterr().out
+        assert "portfolio" in out
+        assert "won by" in out
+
+    def test_portfolio_engine_on_safe(self, safe_model, capsys):
+        assert main(["check", safe_model, "--engine", "portfolio", "--jobs", "2"]) == 0
+        assert "won by" in capsys.readouterr().out
+
 
 class TestSuiteCommand:
     def test_suite_listing(self, capsys):
@@ -81,3 +102,39 @@ class TestEvaluateCommand:
         assert exit_code == 0
         assert "Table 1" in output
         assert "RIC3-pl" in output
+
+    def test_parallel_evaluation_with_manifest(self, capsys, monkeypatch, tmp_path):
+        import json
+
+        from repro import cli
+        from repro.benchgen import token_ring as ring
+
+        monkeypatch.setattr(cli, "quick_suite", lambda: [ring(3), ring(3, safe=False)])
+        manifest_path = tmp_path / "run.json"
+        exit_code = main(
+            [
+                "evaluate",
+                "--quick",
+                "--timeout",
+                "20",
+                "--jobs",
+                "2",
+                "--output",
+                str(manifest_path),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Run manifest written" in output
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["jobs"] == 2
+        assert manifest["suite"] == "quick"
+        assert manifest["num_cases"] == 2
+        assert {r["config"] for r in manifest["results"]} == {
+            "RIC3", "RIC3-pl", "IC3ref", "IC3ref-pl", "IC3ref-CAV23", "ABC-PDR"
+        }
+
+    def test_evaluate_jobs_default(self):
+        args = build_parser().parse_args(["evaluate"])
+        assert args.jobs == 1
+        assert args.output is None
