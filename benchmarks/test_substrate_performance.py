@@ -6,7 +6,6 @@ that regressions in the substrates are visible independently of the
 end-to-end IC3 numbers.
 """
 
-import pytest
 
 from repro.benchgen import johnson_counter, modular_counter, token_ring
 from repro.core import BMC, CheckResult, IC3Options

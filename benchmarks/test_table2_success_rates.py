@@ -12,7 +12,6 @@ The reproduction checks the shape: all three rates are defined and
 the rates lie in [0, 1].
 """
 
-import pytest
 
 from repro.core import IC3, CheckResult
 from repro.harness import success_rate_table

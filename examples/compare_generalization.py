@@ -10,8 +10,11 @@ size, which makes the saving from avoided variable dropping visible.
 
 Run with::
 
-    python examples/compare_generalization.py
+    python examples/compare_generalization.py            # default widths
+    python examples/compare_generalization.py 3 5        # explicit widths
 """
+
+import sys
 
 from repro import IC3, IC3Options
 from repro.benchgen import johnson_counter
@@ -29,13 +32,14 @@ WIDTHS = [5, 7, 9, 11]
 
 
 def main() -> None:
+    widths = [int(arg) for arg in sys.argv[1:]] or WIDTHS
     header = (
         f"{'width':>5s}  {'configuration':<24s}  {'time(s)':>8s}  {'SAT':>6s}  "
         f"{'drops':>6s}  {'SR_adv':>7s}"
     )
     print(header)
     print("-" * len(header))
-    for width in WIDTHS:
+    for width in widths:
         case = johnson_counter(width, safe=True)
         for label, options in CONFIGURATIONS:
             outcome = IC3(case.aig, options).check(time_limit=120)

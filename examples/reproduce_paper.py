@@ -27,6 +27,14 @@ def main(argv=None) -> int:
     parser.add_argument("--validate", action="store_true", help="validate every certificate/trace")
     parser.add_argument("--verbose", action="store_true", help="print per-case progress")
     parser.add_argument("--csv", type=str, default=None, help="also write Table 1 as CSV to this path")
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="parallel worker processes (0 = one per CPU; default: 1)",
+    )
+    parser.add_argument(
+        "--no-reduce", action="store_true",
+        help="solve the original models without reduction preprocessing",
+    )
     args = parser.parse_args(argv)
 
     cases = quick_suite() if args.quick else default_suite()
@@ -36,6 +44,8 @@ def main(argv=None) -> int:
         timeout=args.timeout,
         validate=args.validate,
         verbose=args.verbose,
+        jobs=args.jobs,
+        reduce=not args.no_reduce,
     )
     print()
     print(report.to_text())

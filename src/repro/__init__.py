@@ -6,6 +6,9 @@ The package provides, from the bottom up:
 * :mod:`repro.sat` — a CDCL SAT solver with assumptions and cores;
 * :mod:`repro.aiger` — AIG construction, simulation and AIGER file I/O;
 * :mod:`repro.ts` — transition-system encoding and time-frame unrolling;
+* :mod:`repro.reduce` — pass-managed circuit reduction (COI, structural
+  hashing, ternary constant sweeping, latch merging) with witness
+  lift-back;
 * :mod:`repro.core` — IC3/PDR with CTP-based lemma prediction, plus BMC,
   k-induction and certificate/trace validation;
 * :mod:`repro.benchgen` — the synthetic hardware benchmark suite;

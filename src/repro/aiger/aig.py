@@ -13,8 +13,8 @@ generators in :mod:`repro.benchgen`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 FALSE_LIT = 0
 TRUE_LIT = 1

@@ -28,10 +28,12 @@ from repro.benchgen.fifo import fifo_controller
 from repro.benchgen.traffic import traffic_light
 from repro.benchgen.lock import combination_lock
 from repro.benchgen.datapath import gray_counter, lockstep_counters
+from repro.benchgen.soc import monitored_counter, shadowed_ring
 from repro.benchgen.suite import (
     default_suite,
     extended_suite,
     quick_suite,
+    reduction_suite,
     build_suite,
     SuiteSpec,
 )
@@ -52,9 +54,12 @@ __all__ = [
     "combination_lock",
     "gray_counter",
     "lockstep_counters",
+    "monitored_counter",
+    "shadowed_ring",
     "default_suite",
     "extended_suite",
     "quick_suite",
+    "reduction_suite",
     "build_suite",
     "SuiteSpec",
 ]

@@ -10,7 +10,7 @@ which exercises the blocking phase.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.aiger.aig import AIG, FALSE_LIT, TRUE_LIT
 from repro.benchgen.case import BenchmarkCase

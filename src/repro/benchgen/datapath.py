@@ -17,7 +17,7 @@ different prediction profile.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.aiger.aig import AIG, FALSE_LIT
 from repro.benchgen.case import BenchmarkCase

@@ -9,7 +9,7 @@ IC3's backward search — a classic evaluation family for bug finding.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 from repro.aiger.aig import AIG, FALSE_LIT
 from repro.benchgen.case import BenchmarkCase
@@ -35,7 +35,6 @@ def combination_lock(code: Sequence[int], symbol_bits: int = 2, safe: bool = Fal
     symbol_in = [aig.add_input(f"sym{i}") for i in range(symbol_bits)]
     progress = [aig.add_latch(init=0, name=f"prog{i}") for i in range(stage_bits)]
 
-    next_progress_candidates: List[int] = []
     # progress == s and input == code[s]  -->  progress' = s + 1, else 0.
     advance_any = FALSE_LIT
     next_value_bits = [FALSE_LIT] * stage_bits

@@ -8,9 +8,9 @@ source of parent-lemma/CTP interplay for the prediction mechanism.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.aiger.aig import AIG, FALSE_LIT, TRUE_LIT
+from repro.aiger.aig import AIG, FALSE_LIT
 from repro.benchgen.case import BenchmarkCase
 from repro.core.result import CheckResult
 

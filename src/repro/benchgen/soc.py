@@ -1,0 +1,150 @@
+"""SoC-style benchmark circuits with heavy reducible structure.
+
+Real system-on-chip dumps are the reason preprocessing exists: the
+property cone is a small island inside telemetry counters, debug
+monitors, duplicated (lockstep) registers and configuration straps.
+These generators reproduce that shape deliberately, giving every pass of
+the :mod:`repro.reduce` default pipeline something to do:
+
+* a *noise* block (a feedback shift chain fed by its own sensor input)
+  is observable but outside the property cone — COI removes it;
+* a *mode*/*spin* configuration strap latch is provably stuck at its
+  reset value — ternary simulation sweeps it, and the muxes it gated
+  fold away on the rebuild;
+* a *shadow* copy of the datapath register (lockstep redundancy) is
+  sequentially equivalent to the main copy — latch merging collapses it.
+
+The instances are tractable for the pure-Python IC3 once reduced; the
+larger sizes of :func:`repro.benchgen.suite.reduction_suite` are *only*
+tractable with reduction, which is exactly what they are there to show.
+"""
+
+from __future__ import annotations
+
+from repro.aiger.aig import AIG, FALSE_LIT
+from repro.benchgen.case import BenchmarkCase
+from repro.core.result import CheckResult
+
+
+def _attach_noise(aig: AIG, stages: int) -> None:
+    """An observable feedback shift chain that cannot affect any bad signal."""
+    sensor = aig.add_input("sensor")
+    previous = sensor
+    for index in range(stages):
+        stage = aig.add_latch(init=0, name=f"noise{index}")
+        aig.set_latch_next(stage, aig.xor_gate(previous, stage))
+        previous = stage
+    aig.add_output(previous)  # telemetry: observable, but not the property
+
+
+def monitored_counter(
+    width: int, noise: int = 8, safe: bool = True, copies: int = 2
+) -> BenchmarkCase:
+    """A saturating counter replicated in lockstep, plus a mode strap.
+
+    The counter increments while ``enable`` is high; the SAFE variant
+    saturates at ``2^width - 2`` so the all-ones value is unreachable,
+    the UNSAFE variant free-runs and reaches it in ``2^width - 1``
+    enabled steps.  ``copies`` lockstep replicas (think N-modular
+    redundancy) are kept, and the property also asserts that no replica
+    ever disagrees with the first.  A ``mode`` strap latch (stuck at 0)
+    gates a polarity inversion that never happens, and ``noise`` dead
+    latches ride along.
+    """
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    if noise < 0:
+        raise ValueError("noise must be non-negative")
+    if copies < 1:
+        raise ValueError("copies must be at least 1")
+    limit = (1 << width) - 2
+    bad_value = (1 << width) - 1
+
+    aig = AIG(
+        comment=f"monitored counter width={width} noise={noise} "
+        f"copies={copies} safe={safe}"
+    )
+    enable = aig.add_input("enable")
+    mode = aig.add_latch(init=0, name="mode")
+    aig.set_latch_next(mode, aig.add_and(mode, enable))  # provably stuck at 0
+
+    words = []
+    for copy in range(copies):
+        prefix = "cnt" if copy == 0 else f"shadow{copy}"
+        bits = [aig.add_latch(init=0, name=f"{prefix}{i}") for i in range(width)]
+        at_limit = aig.equal_const(bits, limit)
+        incremented = aig.increment(bits)
+        for bit, inc in zip(bits, incremented):
+            step = aig.mux(at_limit, bit, inc) if safe else inc
+            nxt = aig.mux(enable, step, bit)
+            # mode is stuck at 0, so the inversion folds away once swept.
+            aig.set_latch_next(bit, aig.mux(mode, aig.negate(nxt), nxt))
+        words.append(bits)
+    counter = words[0]
+
+    mismatch = aig.or_many(
+        [aig.negate(aig.equal_words(counter, replica)) for replica in words[1:]]
+    )
+    aig.add_bad(aig.or_gate(mismatch, aig.equal_const(counter, bad_value)))
+    _attach_noise(aig, noise)
+
+    return BenchmarkCase(
+        name=f"moncnt_w{width}_n{noise}_c{copies}_{'safe' if safe else 'unsafe'}",
+        aig=aig,
+        expected=CheckResult.SAFE if safe else CheckResult.UNSAFE,
+        family="soc",
+        params={"width": width, "noise": noise, "copies": copies, "safe": safe},
+        expected_depth=None if safe else bad_value,
+    )
+
+
+def shadowed_ring(size: int, noise: int = 6, safe: bool = True) -> BenchmarkCase:
+    """A one-hot token ring duplicated in lockstep, plus a spin strap.
+
+    The property is mutual exclusion on the main ring and agreement
+    between the rings.  The UNSAFE variant has a ``dup`` input that
+    duplicates the token (in both rings alike), violating mutual
+    exclusion after one step.  A ``spin`` strap latch (stuck at 1)
+    gates the rotation, and ``noise`` dead latches ride along.
+    """
+    if size < 2:
+        raise ValueError("size must be at least 2")
+    if noise < 0:
+        raise ValueError("noise must be non-negative")
+
+    aig = AIG(comment=f"shadowed ring size={size} noise={noise} safe={safe}")
+    dup = aig.add_input("dup") if not safe else None
+    spin = aig.add_latch(init=1, name="spin")
+    aig.set_latch_next(spin, spin)  # provably stuck at 1
+
+    rings = []
+    for prefix in ("main", "shadow"):
+        stages = [
+            aig.add_latch(init=1 if i == 0 else 0, name=f"{prefix}{i}")
+            for i in range(size)
+        ]
+        for index, stage in enumerate(stages):
+            rotated = stages[(index - 1) % size]
+            if not safe:
+                rotated = aig.or_gate(rotated, aig.add_and(dup, stage))
+            # spin is stuck at 1, so the hold branch folds away once swept.
+            aig.set_latch_next(stage, aig.mux(spin, rotated, stage))
+        rings.append(stages)
+    main, shadow = rings
+
+    collision = FALSE_LIT
+    for i in range(size):
+        for j in range(i + 1, size):
+            collision = aig.or_gate(collision, aig.add_and(main[i], main[j]))
+    mismatch = aig.negate(aig.equal_words(main, shadow))
+    aig.add_bad(aig.or_gate(collision, mismatch))
+    _attach_noise(aig, noise)
+
+    return BenchmarkCase(
+        name=f"shring_n{size}_x{noise}_{'safe' if safe else 'unsafe'}",
+        aig=aig,
+        expected=CheckResult.SAFE if safe else CheckResult.UNSAFE,
+        family="soc",
+        params={"size": size, "noise": noise, "safe": safe},
+        expected_depth=None if safe else 1,
+    )

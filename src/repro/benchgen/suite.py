@@ -10,8 +10,8 @@ and ``build_suite`` lets callers scale the instance sizes up or down.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from repro.benchgen.arbiter import round_robin_arbiter
 from repro.benchgen.case import BenchmarkCase
@@ -24,6 +24,7 @@ from repro.benchgen.counters import (
 from repro.benchgen.fifo import fifo_controller
 from repro.benchgen.lock import combination_lock
 from repro.benchgen.registers import johnson_counter, lfsr, pipeline_tag, token_ring
+from repro.benchgen.soc import monitored_counter, shadowed_ring
 from repro.benchgen.traffic import traffic_light
 
 
@@ -40,6 +41,8 @@ class SuiteSpec:
     arbiter_sizes: Sequence[int] = (2, 3, 4, 5, 8)
     fifo_widths: Sequence[int] = (2, 3, 4, 6)
     lock_lengths: Sequence[int] = (2, 3, 4)
+    soc_counter_widths: Sequence[int] = (3, 4)
+    soc_ring_sizes: Sequence[int] = (3, 4)
     include_unsafe: bool = True
 
 
@@ -67,6 +70,10 @@ def build_suite(spec: Optional[SuiteSpec] = None) -> List[BenchmarkCase]:
         cases.append(round_robin_arbiter(size, safe=True))
     for width in spec.fifo_widths:
         cases.append(fifo_controller(width, safe=True))
+    for width in spec.soc_counter_widths:
+        cases.append(monitored_counter(width, noise=2 * width, safe=True))
+    for size in spec.soc_ring_sizes:
+        cases.append(shadowed_ring(size, noise=size + 2, safe=True))
     cases.append(traffic_light(safe=True))
 
     if spec.include_unsafe:
@@ -87,6 +94,10 @@ def build_suite(spec: Optional[SuiteSpec] = None) -> List[BenchmarkCase]:
             cases.append(round_robin_arbiter(size, safe=False))
         for width in spec.fifo_widths[:2]:
             cases.append(fifo_controller(width, safe=False))
+        for width in spec.soc_counter_widths[:1]:
+            cases.append(monitored_counter(width, noise=2 * width, safe=False))
+        for size in spec.soc_ring_sizes[:1]:
+            cases.append(shadowed_ring(size, noise=size + 2, safe=False))
         for length in spec.lock_lengths:
             cases.append(combination_lock(code=[1, 2, 3, 2][:length], symbol_bits=2))
         cases.append(traffic_light(safe=False))
@@ -120,6 +131,30 @@ def extended_suite() -> List[BenchmarkCase]:
     return cases
 
 
+def reduction_suite() -> List[BenchmarkCase]:
+    """Large SoC-style cases that are only tractable with reduction.
+
+    Each instance buries a small property cone inside out-of-cone noise,
+    constant configuration straps and lockstep register replicas; the
+    default :mod:`repro.reduce` pipeline shrinks them by one to two
+    orders of magnitude.  Without reduction, the pure-Python IC3 blows
+    the harness's usual per-case budget on every one of them — which is
+    the point: run ``repro-check evaluate`` with and without
+    ``--no-reduce`` to see the difference.
+    """
+    cases = [
+        monitored_counter(8, noise=24, copies=6, safe=True),
+        monitored_counter(8, noise=32, copies=8, safe=True),
+        monitored_counter(6, noise=48, copies=6, safe=True),
+        monitored_counter(4, noise=32, copies=8, safe=False),
+        shadowed_ring(16, noise=24, safe=True),
+        shadowed_ring(20, noise=32, safe=True),
+        shadowed_ring(12, noise=40, safe=False),
+    ]
+    _check_unique_names(cases)
+    return cases
+
+
 def quick_suite() -> List[BenchmarkCase]:
     """A small, fast subset used by smoke tests and examples."""
     spec = SuiteSpec(
@@ -132,6 +167,8 @@ def quick_suite() -> List[BenchmarkCase]:
         arbiter_sizes=(2,),
         fifo_widths=(2,),
         lock_lengths=(2,),
+        soc_counter_widths=(),
+        soc_ring_sizes=(),
         include_unsafe=True,
     )
     return build_suite(spec)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-from repro.aiger.aig import AIG, FALSE_LIT
+from repro.aiger.aig import AIG
 from repro.benchgen.case import BenchmarkCase
 from repro.core.result import CheckResult
 

@@ -1,12 +1,17 @@
 """Command-line interface.
 
-``repro-check`` exposes the three things a user typically wants from the
+``repro-check`` exposes the four things a user typically wants from the
 command line:
 
 * ``repro-check check model.aag`` — model-check one AIGER file with any
   registered engine (``--engine ic3|ic3-pl|bmc|kind|portfolio``; the
   portfolio races engines across ``--jobs`` worker processes and reports
-  which member won);
+  which member won).  Models are shrunk through the default reduction
+  pipeline first; ``--no-reduce`` disables that and ``--passes`` picks
+  the passes;
+* ``repro-check reduce model.aag`` — run only the reduction pipeline and
+  report per-pass shrinkage (optionally writing the reduced model with
+  ``--output``);
 * ``repro-check evaluate`` — run the paper's evaluation harness on the
   synthetic suite and print Tables 1/2 and the figure summaries.
   ``--jobs N`` parallelizes the configurations × cases cross product over
@@ -23,13 +28,40 @@ import time
 from typing import List, Optional
 
 from repro.aiger.parser import read_aiger
-from repro.benchgen.suite import default_suite, quick_suite
+from repro.aiger.writer import write_aag
+from repro.benchgen.suite import (
+    default_suite,
+    extended_suite,
+    quick_suite,
+    reduction_suite,
+)
 from repro.core.options import IC3Options
 from repro.core.result import CheckResult
 from repro.engines import available_engines, create_engine
 from repro.harness.configs import paper_configurations
 from repro.harness.manifest import build_manifest, write_manifest
 from repro.harness.report import run_paper_evaluation
+from repro.reduce import available_passes, reduce_aig
+
+
+# Suite name -> module-level factory attribute; the single source for
+# both the argparse choices and the dispatch in _select_suite.
+_SUITES = {
+    "default": "default_suite",
+    "extended": "extended_suite",
+    "quick": "quick_suite",
+    "reduction": "reduction_suite",
+}
+
+
+def _select_suite(args: argparse.Namespace):
+    """Resolve the ``--suite``/``--quick`` flags to (cases, suite name).
+
+    The factory is looked up on this module at call time so tests can
+    monkeypatch the suite functions.
+    """
+    name = "quick" if args.quick else args.suite
+    return globals()[_SUITES[name]](), name
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,12 +89,40 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="portfolio worker processes (default: one per member engine)",
     )
+    _add_reduction_arguments(check)
     check.add_argument("--verbose", action="store_true", help="per-frame progress")
+
+    reduce_cmd = sub.add_parser(
+        "reduce", help="shrink an AIGER file and report per-pass sizes"
+    )
+    reduce_cmd.add_argument("model", help="path to an .aag or .aig file")
+    reduce_cmd.add_argument(
+        "--passes",
+        metavar="LIST",
+        default=None,
+        help="comma-separated pass list (default pipeline otherwise); "
+        f"available: {', '.join(available_passes())}",
+    )
+    reduce_cmd.add_argument(
+        "--property", type=int, default=0, help="bad-property index (default: 0)"
+    )
+    reduce_cmd.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write the reduced model as ASCII AIGER to PATH",
+    )
 
     evaluate = sub.add_parser("evaluate", help="run the paper evaluation harness")
     evaluate.add_argument("--timeout", type=float, default=5.0, help="per-case timeout")
     evaluate.add_argument(
         "--quick", action="store_true", help="use the small smoke-test suite"
+    )
+    evaluate.add_argument(
+        "--suite",
+        choices=sorted(_SUITES),
+        default="default",
+        help="benchmark suite to run (--quick is shorthand for --suite quick)",
     )
     evaluate.add_argument(
         "--jobs",
@@ -79,11 +139,22 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument(
         "--validate", action="store_true", help="validate certificates and traces"
     )
+    evaluate.add_argument(
+        "--no-reduce",
+        action="store_true",
+        help="solve the original models without reduction preprocessing",
+    )
     evaluate.add_argument("--verbose", action="store_true", help="per-case progress")
 
     suite = sub.add_parser("suite", help="inspect the benchmark suite")
     suite.add_argument("--list", action="store_true", help="list the cases")
     suite.add_argument("--quick", action="store_true", help="use the smoke-test suite")
+    suite.add_argument(
+        "--suite",
+        choices=sorted(_SUITES),
+        default="default",
+        help="benchmark suite to inspect",
+    )
     return parser
 
 
@@ -92,6 +163,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "check":
         return _command_check(args)
+    if args.command == "reduce":
+        return _command_reduce(args)
     if args.command == "evaluate":
         return _command_evaluate(args)
     if args.command == "suite":
@@ -99,21 +172,53 @@ def main(argv: Optional[List[str]] = None) -> int:
     return 2  # pragma: no cover - argparse enforces the choices
 
 
+def _add_reduction_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-reduce",
+        action="store_true",
+        help="solve the original model without reduction preprocessing",
+    )
+    parser.add_argument(
+        "--passes",
+        metavar="LIST",
+        default=None,
+        help="comma-separated reduction pass list; "
+        f"available: {', '.join(available_passes())}",
+    )
+
+
+def _parse_passes(value: Optional[str]) -> Optional[List[str]]:
+    """Validate a ``--passes`` value against the pass registry."""
+    if value is None:
+        return None
+    names = [name.strip() for name in value.split(",") if name.strip()]
+    known = set(available_passes())
+    for name in names:
+        if name not in known:
+            raise SystemExit(
+                f"error: unknown reduction pass {name!r} "
+                f"(available: {', '.join(sorted(known))})"
+            )
+    return names
+
+
 def _engine_kwargs(args: argparse.Namespace) -> dict:
     """Per-kind construction keywords for the ``check`` subcommand."""
+    kwargs: dict = {
+        "reduce": not args.no_reduce,
+        "passes": _parse_passes(args.passes),
+    }
     if args.engine == "bmc":
-        return {"max_depth": args.max_depth}
-    if args.engine in ("kind", "k-induction"):
-        return {"max_k": args.max_k}
-    if args.engine == "portfolio":
-        return {
-            "jobs": args.jobs,
-            "member_kwargs": {
-                "bmc": {"max_depth": args.max_depth},
-                "kind": {"max_k": args.max_k},
-            },
+        kwargs["max_depth"] = args.max_depth
+    elif args.engine in ("kind", "k-induction"):
+        kwargs["max_k"] = args.max_k
+    elif args.engine == "portfolio":
+        kwargs["jobs"] = args.jobs
+        kwargs["member_kwargs"] = {
+            "bmc": {"max_depth": args.max_depth},
+            "kind": {"max_k": args.max_k},
         }
-    return {}
+    return kwargs
 
 
 def _command_check(args: argparse.Namespace) -> int:
@@ -121,6 +226,14 @@ def _command_check(args: argparse.Namespace) -> int:
     options = IC3Options(verbose=1 if args.verbose else 0)
     engine = create_engine(args.engine, aig, options=options, **_engine_kwargs(args))
     outcome = engine.check(time_limit=args.timeout)
+    if args.verbose and outcome.reduction:
+        original = outcome.reduction["original"]
+        reduced = outcome.reduction["reduced"]
+        print(
+            f"[reduce] latches {original['latches']} -> {reduced['latches']}, "
+            f"ands {original['ands']} -> {reduced['ands']} "
+            f"(passes: {', '.join(outcome.reduction['passes'])})"
+        )
     print(outcome.summary())
     if outcome.result == CheckResult.UNSAFE:
         return 1
@@ -129,8 +242,36 @@ def _command_check(args: argparse.Namespace) -> int:
     return 2
 
 
+def _command_reduce(args: argparse.Namespace) -> int:
+    aig = read_aiger(args.model)
+    result = reduce_aig(
+        aig, property_index=args.property, passes=_parse_passes(args.passes)
+    )
+    header = f"{'pass':<10s} {'inputs':>14s} {'latches':>14s} {'ands':>14s}"
+    print(header)
+    print("-" * len(header))
+    for info in result.infos:
+        print(
+            f"{info.pass_name:<10s} "
+            f"{info.inputs_before:>6d} -> {info.inputs_after:<5d}"
+            f"{info.latches_before:>6d} -> {info.latches_after:<5d}"
+            f"{info.ands_before:>6d} -> {info.ands_after:<5d}"
+        )
+    print("-" * len(header))
+    print(
+        f"{'total':<10s} "
+        f"{aig.num_inputs:>6d} -> {result.aig.num_inputs:<5d}"
+        f"{aig.num_latches:>6d} -> {result.aig.num_latches:<5d}"
+        f"{aig.num_ands:>6d} -> {result.aig.num_ands:<5d}"
+    )
+    if args.output:
+        write_aag(result.aig, args.output)
+        print(f"\nReduced model written to {args.output}")
+    return 0
+
+
 def _command_evaluate(args: argparse.Namespace) -> int:
-    cases = quick_suite() if args.quick else default_suite()
+    cases, suite_name = _select_suite(args)
     start = time.perf_counter()
     report = run_paper_evaluation(
         cases=cases,
@@ -138,15 +279,17 @@ def _command_evaluate(args: argparse.Namespace) -> int:
         validate=args.validate,
         verbose=args.verbose,
         jobs=args.jobs,
+        reduce=not args.no_reduce,
     )
     wall_clock = time.perf_counter() - start
     print(report.to_text())
     if args.output:
         manifest = build_manifest(
             report.suite_result,
-            suite="quick" if args.quick else "default",
+            suite=suite_name,
             jobs=args.jobs,
             validate=args.validate,
+            reduce=not args.no_reduce,
             configs=paper_configurations(),
             wall_clock=wall_clock,
         )
@@ -167,8 +310,8 @@ def _command_evaluate(args: argparse.Namespace) -> int:
 
 
 def _command_suite(args: argparse.Namespace) -> int:
-    cases = quick_suite() if args.quick else default_suite()
-    print(f"{len(cases)} cases")
+    cases, suite_name = _select_suite(args)
+    print(f"{len(cases)} cases ({suite_name} suite)")
     if args.list:
         for case in cases:
             print("  " + case.describe())

@@ -10,7 +10,7 @@ the evaluation harness.
 from __future__ import annotations
 
 import time
-from typing import Optional, Union
+from typing import Optional
 
 from repro.aiger.aig import AIG
 from repro.core.result import (

@@ -19,7 +19,7 @@ Three strategies are provided:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.frames import FrameManager
 from repro.core.options import GeneralizationStrategy, IC3Options, LiteralOrdering

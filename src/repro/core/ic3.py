@@ -22,7 +22,7 @@ Typical use::
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 from repro.aiger.aig import AIG
 from repro.core.frames import BadState, FrameManager

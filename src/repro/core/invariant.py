@@ -9,11 +9,10 @@ bug in the IC3 engine cannot silently validate its own output.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 from repro.aiger.aig import AIG
 from repro.core.result import Certificate, CounterexampleTrace
-from repro.logic.cube import Clause
 from repro.sat.solver import Solver
 from repro.ts.system import TransitionSystem
 
@@ -114,7 +113,6 @@ def check_counterexample(
         raise CertificateError("the first trace state is not an initial state")
 
     records = aig.simulate(trace.input_sequence(), initial_latches=initial)
-    bads = aig.bads if aig.bads else aig.outputs
 
     for step_index, (step, record) in enumerate(zip(trace.steps, records)):
         simulated = record["latches"]

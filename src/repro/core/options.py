@@ -8,10 +8,8 @@ generalization, a CTG-enabled variant, and an ABC-PDR-like profile.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Optional
-
 
 class GeneralizationStrategy(str, Enum):
     """Which inductive-generalization algorithm the engine uses."""

@@ -101,6 +101,10 @@ class CheckOutcome:
     winner: Optional[str] = None
     """For portfolio runs: name of the member engine that produced the verdict."""
 
+    reduction: Optional[Dict[str, object]] = None
+    """Preprocessing shrinkage summary (see ``ReductionResult.summary``),
+    None when the engine ran without reduction."""
+
     @property
     def solved(self) -> bool:
         """True if the verdict is SAFE or UNSAFE."""

@@ -14,7 +14,7 @@ the three success rates reported in Table 2 of the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 

@@ -6,11 +6,19 @@ options, property_index, **kwargs)`` construction and ``check(time_limit)``
 call shape that the registry, the harness and the portfolio expect.
 Engine-specific knobs (BMC's ``max_depth``, k-induction's ``max_k``)
 become constructor keywords instead of ``check()`` arguments.
+
+Every adapter also runs the :mod:`repro.reduce` preprocessing pipeline at
+construction time (disable with ``reduce=False``, choose passes with
+``passes=[...]``): the core engine solves the reduced model, and the
+adapter lifts counterexample traces and invariant certificates back to
+the original AIG before returning them, so callers — including the
+certificate/trace validators — never see the reduced model's variable
+numbering.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.aiger.aig import AIG
 from repro.core.bmc import BMC
@@ -19,6 +27,34 @@ from repro.core.kinduction import KInduction
 from repro.core.options import IC3Options
 from repro.core.result import CheckOutcome
 from repro.engines.registry import register_engine
+from repro.reduce import ReductionResult, reduce_aig
+
+
+def prepare_model(
+    aig: AIG,
+    property_index: int = 0,
+    reduce: bool = True,
+    passes: Optional[Sequence[str]] = None,
+):
+    """Common preprocessing step of every adapter.
+
+    Returns ``(model, model_property_index, reduction)`` where
+    ``reduction`` is None when preprocessing is disabled.
+    """
+    if not reduce:
+        return aig, property_index, None
+    reduction = reduce_aig(aig, property_index=property_index, passes=passes)
+    return reduction.aig, reduction.property_index, reduction
+
+
+def finish_outcome(
+    outcome: CheckOutcome, reduction: Optional[ReductionResult]
+) -> CheckOutcome:
+    """Lift witnesses back to the original model and record shrinkage."""
+    if reduction is not None:
+        outcome = reduction.lift_outcome(outcome)
+        outcome.reduction = reduction.summary()
+    return outcome
 
 
 class IC3Engine:
@@ -30,14 +66,20 @@ class IC3Engine:
         options: Optional[IC3Options] = None,
         property_index: int = 0,
         name: Optional[str] = None,
+        reduce: bool = True,
+        passes: Optional[Sequence[str]] = None,
         **_ignored,
     ):
         self.options = options if options is not None else IC3Options()
         self.name = name or ("ic3-pl" if self.options.enable_prediction else "ic3")
-        self._engine = IC3(aig, self.options, property_index=property_index)
+        model, model_property, self.reduction = prepare_model(
+            aig, property_index, reduce, passes
+        )
+        self._engine = IC3(model, self.options, property_index=model_property)
 
     def check(self, time_limit: Optional[float] = None) -> CheckOutcome:
         outcome = self._engine.check(time_limit=time_limit)
+        outcome = finish_outcome(outcome, self.reduction)
         outcome.engine = self.name
         return outcome
 
@@ -53,13 +95,19 @@ class BMCEngine:
         options: Optional[IC3Options] = None,
         property_index: int = 0,
         max_depth: int = 50,
+        reduce: bool = True,
+        passes: Optional[Sequence[str]] = None,
         **_ignored,
     ):
         self.max_depth = max_depth
-        self._engine = BMC(aig, property_index=property_index)
+        model, model_property, self.reduction = prepare_model(
+            aig, property_index, reduce, passes
+        )
+        self._engine = BMC(model, property_index=model_property)
 
     def check(self, time_limit: Optional[float] = None) -> CheckOutcome:
-        return self._engine.check(max_depth=self.max_depth, time_limit=time_limit)
+        outcome = self._engine.check(max_depth=self.max_depth, time_limit=time_limit)
+        return finish_outcome(outcome, self.reduction)
 
 
 class KInductionEngine:
@@ -73,13 +121,19 @@ class KInductionEngine:
         options: Optional[IC3Options] = None,
         property_index: int = 0,
         max_k: int = 20,
+        reduce: bool = True,
+        passes: Optional[Sequence[str]] = None,
         **_ignored,
     ):
         self.max_k = max_k
-        self._engine = KInduction(aig, property_index=property_index)
+        model, model_property, self.reduction = prepare_model(
+            aig, property_index, reduce, passes
+        )
+        self._engine = KInduction(model, property_index=model_property)
 
     def check(self, time_limit: Optional[float] = None) -> CheckOutcome:
-        return self._engine.check(max_k=self.max_k, time_limit=time_limit)
+        outcome = self._engine.check(max_k=self.max_k, time_limit=time_limit)
+        return finish_outcome(outcome, self.reduction)
 
 
 # ----------------------------------------------------------------------

@@ -28,6 +28,7 @@ from repro.aiger.aig import AIG
 from repro.core.options import IC3Options
 from repro.core.result import CheckOutcome, CheckResult
 from repro.core.stats import IC3Stats
+from repro.engines.adapters import finish_outcome, prepare_model
 from repro.engines.registry import canonical_name, create_engine, register_engine
 
 DEFAULT_PORTFOLIO: Tuple[str, ...] = ("ic3-pl", "bmc", "kind")
@@ -67,6 +68,8 @@ class PortfolioEngine:
         jobs: Optional[int] = None,
         member_kwargs: Optional[Dict[str, Dict[str, object]]] = None,
         grace: float = 0.5,
+        reduce: bool = True,
+        passes: Optional[Sequence[str]] = None,
         **_ignored,
     ):
         if not engines:
@@ -76,11 +79,15 @@ class PortfolioEngine:
             raise ValueError("portfolio members must be distinct")
         self.engines = tuple(engines)
         self.options = options
-        self.property_index = property_index
         self.jobs = jobs if jobs and jobs > 0 else len(self.engines)
         self.member_kwargs = dict(member_kwargs or {})
         self.grace = grace
-        self._aig = aig
+        # Reduce once in the parent: every member races on the same shrunk
+        # model (members are spawned with reduce=False), and the winning
+        # witness is lifted back here.
+        self._aig, self.property_index, self._reduction = prepare_model(
+            aig, property_index, reduce, passes
+        )
 
     # ------------------------------------------------------------------
     def check(self, time_limit: Optional[float] = None) -> CheckOutcome:
@@ -107,6 +114,8 @@ class PortfolioEngine:
                         if deadline is not None
                         else None
                     )
+                    kwargs = {"reduce": False}
+                    kwargs.update(self.member_kwargs.get(member, {}))
                     proc = ctx.Process(
                         target=_run_member,
                         args=(
@@ -116,7 +125,7 @@ class PortfolioEngine:
                             self.options,
                             self.property_index,
                             remaining,
-                            self.member_kwargs.get(member, {}),
+                            kwargs,
                         ),
                         daemon=True,
                         name=f"portfolio-{member}",
@@ -133,6 +142,7 @@ class PortfolioEngine:
                     kind, payload = self._receive(conn)
                     proc.join(timeout=1.0)
                     if kind == "ok" and payload.solved:
+                        payload = finish_outcome(payload, self._reduction)
                         payload.winner = member
                         payload.engine = self.name
                         payload.runtime = time.perf_counter() - start
@@ -181,6 +191,7 @@ class PortfolioEngine:
             stats=stats,
             engine=self.name,
             reason=reason,
+            reduction=self._reduction.summary() if self._reduction else None,
         )
 
 

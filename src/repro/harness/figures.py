@@ -8,9 +8,9 @@ is what the reproduction needs to compare shapes against the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
-from repro.harness.runner import CaseResult, SuiteResult
+from repro.harness.runner import SuiteResult
 
 
 # ----------------------------------------------------------------------

@@ -2,9 +2,21 @@
 
 ``repro-check evaluate --output run.json`` records everything needed to
 track performance across PRs (the ``BENCH_*.json`` trajectory): the suite
-and harness parameters, per-case verdicts and runtimes, and per-
-configuration totals.  The schema is versioned so future readers can
-evolve without guessing.
+and harness parameters, per-case verdicts and runtimes, the portfolio
+winner and full engine statistics of every run, the original-vs-reduced
+model sizes the preprocessing pipeline achieved, and per-configuration
+totals.  The schema is versioned so future readers can evolve without
+guessing.
+
+Schema v2 (``repro-check/manifest/v2``) additions over v1:
+
+* per-result ``winner`` — the member engine that won a portfolio race
+  (None for non-portfolio configurations);
+* per-result ``stats`` — the engine's statistics counters
+  (:meth:`repro.core.stats.IC3Stats.as_dict`);
+* per-result ``reduction`` — original and reduced model sizes plus the
+  pass list (None when preprocessing was disabled);
+* top-level ``reduce`` — whether preprocessing was enabled for the run.
 """
 
 from __future__ import annotations
@@ -14,9 +26,21 @@ import time
 from typing import Dict, Optional, Sequence
 
 from repro.harness.configs import EngineConfig
-from repro.harness.runner import SuiteResult
+from repro.harness.runner import CaseResult, SuiteResult
 
-MANIFEST_SCHEMA = "repro-check/manifest/v1"
+MANIFEST_SCHEMA = "repro-check/manifest/v2"
+
+
+def _reduction_sizes(result: CaseResult) -> Optional[Dict[str, object]]:
+    """Slim per-case reduction record (sizes + passes, no per-pass detail)."""
+    summary = result.reduction
+    if not summary:
+        return None
+    return {
+        "original": summary.get("original"),
+        "reduced": summary.get("reduced"),
+        "passes": summary.get("passes"),
+    }
 
 
 def build_manifest(
@@ -25,6 +49,7 @@ def build_manifest(
     suite: str = "custom",
     jobs: int = 1,
     validate: bool = False,
+    reduce: bool = True,
     configs: Optional[Sequence[EngineConfig]] = None,
     wall_clock: Optional[float] = None,
 ) -> Dict[str, object]:
@@ -46,9 +71,12 @@ def build_manifest(
             "penalized_runtime": round(r.penalized_runtime, 6),
             "frames": r.frames,
             "engine": r.engine,
+            "winner": r.winner,
             "solved": r.solved,
             "correct": r.correct,
             "validated": r.validated,
+            "stats": r.stats.as_dict(),
+            "reduction": _reduction_sizes(r),
             "error": r.error,
         }
         for r in suite_result.results
@@ -76,6 +104,7 @@ def build_manifest(
         "timeout": suite_result.timeout,
         "jobs": jobs,
         "validate": validate,
+        "reduce": reduce,
         "num_cases": len(suite_result.cases()),
         "num_configs": len(suite_result.configs()),
         "configs": config_meta,

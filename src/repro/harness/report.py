@@ -92,11 +92,13 @@ def run_paper_evaluation(
     verbose: bool = False,
     figure4_min_runtime: Optional[float] = None,
     jobs: int = 1,
+    reduce: bool = True,
 ) -> PaperReport:
     """Run the full evaluation and return the assembled report.
 
     ``jobs`` parallelizes the (configuration, case) cross product over
     worker processes; the report is deterministic for any jobs value.
+    ``reduce=False`` disables the reduction preprocessing pipeline.
     """
     if cases is None:
         cases = default_suite()
@@ -104,7 +106,13 @@ def run_paper_evaluation(
         configs = paper_configurations()
 
     runner = BenchmarkRunner(
-        cases, configs, timeout=timeout, validate=validate, verbose=verbose, jobs=jobs
+        cases,
+        configs,
+        timeout=timeout,
+        validate=validate,
+        verbose=verbose,
+        jobs=jobs,
+        reduce=reduce,
     )
     suite_result = runner.run()
     return build_report(

@@ -42,6 +42,13 @@ class CaseResult:
     engine: str = ""
     """Engine kind that produced the verdict (winner name for portfolios)."""
 
+    winner: Optional[str] = None
+    """For portfolio configurations: the member engine that won the race."""
+
+    reduction: Optional[Dict[str, object]] = None
+    """Original-vs-reduced model sizes (``ReductionResult.summary()``),
+    None when the engine ran without reduction preprocessing."""
+
     error: Optional[str] = None
     """Worker failure description (crash or hard kill), None on clean runs."""
 
@@ -154,16 +161,27 @@ class _TaskSpec:
     config: EngineConfig
     timeout: float
     validate: bool
+    reduce: bool = True
 
 
 def _execute_case(spec: _TaskSpec) -> CaseResult:
-    """Worker body: run one engine configuration on one case (in-process)."""
+    """Worker body: run one engine configuration on one case (in-process).
+
+    Engine construction — which includes the reduction preprocessing
+    pipeline — happens *inside* the timed region and is charged against
+    the per-case budget, so reduced and unreduced runs are compared
+    fairly and the cooperative budget stays consistent with the pool's
+    hard deadline.
+    """
+    engine_kwargs = dict(spec.config.engine_kwargs)
+    engine_kwargs.setdefault("reduce", spec.reduce)
+    start = time.perf_counter()
     engine = create_engine(
         spec.config.engine, spec.case.aig, options=spec.config.options,
-        **spec.config.engine_kwargs,
+        **engine_kwargs,
     )
-    start = time.perf_counter()
-    outcome = engine.check(time_limit=spec.timeout)
+    remaining = max(0.0, spec.timeout - (time.perf_counter() - start))
+    outcome = engine.check(time_limit=remaining)
     runtime = time.perf_counter() - start
     validated = _validate(spec.case, outcome) if spec.validate else None
     return CaseResult(
@@ -177,6 +195,8 @@ def _execute_case(spec: _TaskSpec) -> CaseResult:
         frames=outcome.frames,
         validated=validated,
         engine=outcome.winner or outcome.engine,
+        winner=outcome.winner,
+        reduction=outcome.reduction,
     )
 
 
@@ -209,6 +229,7 @@ class BenchmarkRunner:
         verbose: bool = False,
         jobs: int = 1,
         grace: Optional[float] = None,
+        reduce: bool = True,
     ):
         if timeout <= 0:
             raise ValueError("timeout must be positive")
@@ -219,6 +240,7 @@ class BenchmarkRunner:
         self.verbose = verbose
         self.jobs = jobs
         self.grace = grace
+        self.reduce = reduce
 
     def run(self) -> SuiteResult:
         """Execute the full cross product and return the collected results.
@@ -227,7 +249,13 @@ class BenchmarkRunner:
         order, independent of worker completion order.
         """
         specs = [
-            _TaskSpec(case=case, config=config, timeout=self.timeout, validate=self.validate)
+            _TaskSpec(
+                case=case,
+                config=config,
+                timeout=self.timeout,
+                validate=self.validate,
+                reduce=self.reduce,
+            )
             for case in self.cases
             for config in self.configs
         ]
@@ -257,7 +285,13 @@ class BenchmarkRunner:
         it exists for interactive use and backward compatibility.
         """
         result = _execute_case(
-            _TaskSpec(case=case, config=config, timeout=self.timeout, validate=self.validate)
+            _TaskSpec(
+                case=case,
+                config=config,
+                timeout=self.timeout,
+                validate=self.validate,
+                reduce=self.reduce,
+            )
         )
         if self.verbose:
             self._report(result)

@@ -1,0 +1,114 @@
+"""Cone-of-influence reduction pass.
+
+Industrial AIGER models routinely contain logic that cannot affect the
+property being checked; restricting the circuit to the *cone of
+influence* — the inputs, latches and gates the bad signal transitively
+depends on, where latch dependencies follow the next-state functions —
+is sound and complete (the reduced circuit is unsafe iff the original
+is) and can shrink the IC3 state space dramatically.  Invariant
+constraints are always kept because they restrict every behaviour.
+
+The cone computation lived in :mod:`repro.ts.coi` historically; that
+module now delegates here and only keeps its original one-shot API.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.aiger.aig import AIG, AndGate, Latch
+from repro.reduce.base import (
+    FREE,
+    KEPT,
+    LatchFate,
+    PassResult,
+    ReductionPass,
+    make_info,
+    rebuild_aig,
+    selected_bads,
+)
+
+
+def coi_variables(aig: AIG, property_index: int = 0) -> Set[int]:
+    """Variables (AIG variable indices) in the property's cone of influence.
+
+    The cone is closed under combinational fan-in and under latch
+    next-state functions; invariant constraints are always included because
+    they restrict every behaviour of the circuit.
+    """
+    aig.validate()
+    bads = selected_bads(aig)
+    if not bads:
+        raise ValueError("the AIG declares neither bad states nor outputs")
+    if not 0 <= property_index < len(bads):
+        raise ValueError(f"property index {property_index} out of range")
+
+    gate_by_var: Dict[int, AndGate] = {gate.lhs >> 1: gate for gate in aig.ands}
+    latch_by_var: Dict[int, Latch] = {latch.lit >> 1: latch for latch in aig.latches}
+
+    roots = [bads[property_index]] + list(aig.constraints)
+    pending: List[int] = [lit >> 1 for lit in roots if lit > 1]
+    reached: Set[int] = set()
+    while pending:
+        var = pending.pop()
+        if var in reached or var == 0:
+            continue
+        reached.add(var)
+        gate = gate_by_var.get(var)
+        if gate is not None:
+            pending.append(gate.rhs0 >> 1)
+            pending.append(gate.rhs1 >> 1)
+            continue
+        latch = latch_by_var.get(var)
+        if latch is not None:
+            pending.append(latch.next >> 1)
+    return reached
+
+
+class ConeOfInfluencePass(ReductionPass):
+    """Keep only the inputs, latches and gates in the property's cone.
+
+    The output model declares exactly one bad literal (the selected
+    property, at index 0); everything outside its cone is dropped and
+    recorded as *free* so trace lift-back can pick arbitrary values.
+    """
+
+    name = "coi"
+
+    def run(self, aig: AIG, property_index: int = 0) -> PassResult:
+        cone = coi_variables(aig, property_index)
+        keep_inputs = {
+            index for index, lit in enumerate(aig.inputs) if (lit >> 1) in cone
+        }
+        keep_latches = {
+            index
+            for index, latch in enumerate(aig.latches)
+            if (latch.lit >> 1) in cone
+        }
+        rebuilt = rebuild_aig(
+            aig,
+            keep_inputs=keep_inputs,
+            keep_latches=keep_latches,
+            property_index=property_index,
+            only_property=True,
+        )
+        fates = [
+            LatchFate(kind=KEPT, new_index=rebuilt.latch_map[index])
+            if rebuilt.latch_map[index] is not None
+            else LatchFate(kind=FREE)
+            for index in range(aig.num_latches)
+        ]
+        info = make_info(
+            self.name,
+            aig,
+            rebuilt.aig,
+            removed_latches=aig.num_latches - len(keep_latches),
+            removed_inputs=aig.num_inputs - len(keep_inputs),
+        )
+        return PassResult(
+            aig=rebuilt.aig,
+            info=info,
+            latch_fates=fates,
+            input_map=rebuilt.input_map,
+            property_index=rebuilt.property_index,
+        )

@@ -1,0 +1,168 @@
+"""Equivalent-latch merging (structural latch correspondence).
+
+Two latches are sequentially equivalent when they hold the same value (or
+complementary values) in every reachable state.  The pass finds such
+pairs with the classic greatest-fixpoint partition refinement:
+
+1. Normalize each latch ``L`` to ``n(L) = L xor init(L)`` so every
+   initialized latch starts at 0, and optimistically place all of them in
+   one equivalence class (latches without a defined reset stay singleton).
+2. Refine: rebuild every latch's next-state function in a scratch AIG,
+   substituting each latch with a per-class placeholder variable
+   (phase-corrected).  The structurally hashed result literal, XOR'd with
+   the latch's init phase, is the latch's *signature*; latches with
+   different signatures cannot stay in one class.
+3. Iterate until the partition is stable.
+
+At the fixpoint every class is self-consistent — all members have
+identical normalized next functions once members are replaced by their
+representative — so equality of members follows by mutual induction from
+the equal initial values.  Non-representative members are then replaced
+by their (phase-corrected) representative and swept.  Certificate
+lift-back re-asserts the merged equalities as two binary clauses per
+swept latch (see :mod:`repro.reduce.recon`).
+
+Structural refinement is conservative: it only merges what hashing can
+see, never more, so soundness does not depend on any SAT reasoning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.aiger.aig import AIG, FALSE_LIT, TRUE_LIT
+from repro.reduce.base import (
+    KEPT,
+    MERGED,
+    LatchFate,
+    PassResult,
+    ReductionPass,
+    make_info,
+    rebuild_aig,
+)
+
+
+def equivalent_latch_classes(aig: AIG) -> List[List[int]]:
+    """Partition latch indices into proven-equivalent classes.
+
+    Only classes with at least two members are returned; each class lists
+    latch indices, smallest (the representative) first.  Members may be
+    *anti*-equivalent to the representative — phase is recovered from the
+    init values (``init(L) != init(rep)`` means ``L == !rep``).
+    """
+    latches = aig.latches
+    # class id per latch; -1 marks latches that can never merge (no reset).
+    class_of: List[int] = []
+    for latch in latches:
+        class_of.append(0 if latch.init is not None else -1)
+
+    while True:
+        signatures = _signatures(aig, class_of)
+        # Split every class by signature.
+        next_class_of = list(class_of)
+        key_to_class: Dict[object, int] = {}
+        next_id = 0
+        for index, latch in enumerate(latches):
+            if class_of[index] < 0:
+                continue
+            key = (class_of[index], signatures[index])
+            if key not in key_to_class:
+                key_to_class[key] = next_id
+                next_id += 1
+            next_class_of[index] = key_to_class[key]
+        if next_class_of == class_of:
+            break
+        class_of = next_class_of
+
+    members: Dict[int, List[int]] = {}
+    for index, cls in enumerate(class_of):
+        if cls >= 0:
+            members.setdefault(cls, []).append(index)
+    return [sorted(group) for cls, group in sorted(members.items()) if len(group) > 1]
+
+
+def _signatures(aig: AIG, class_of: List[int]) -> List[int]:
+    """Normalized structural signature of every latch's next function.
+
+    Signatures are literals of a scratch AIG in which each equivalence
+    class (and each unmergeable latch) is one placeholder input; equal
+    signature literals mean structurally identical normalized next
+    functions under the current partition.
+    """
+    scratch = AIG()
+    placeholder: Dict[int, int] = {}  # class id (or ~latch index) -> scratch input lit
+
+    def class_var(key: int) -> int:
+        lit = placeholder.get(key)
+        if lit is None:
+            lit = scratch.add_input()
+            placeholder[key] = lit
+        return lit
+
+    # Source base literal -> scratch literal, built lazily in topological
+    # order (aig.ands is topologically sorted by construction).
+    mapping: Dict[int, int] = {FALSE_LIT: FALSE_LIT, TRUE_LIT: TRUE_LIT}
+    for lit in aig.inputs:
+        mapping[lit] = scratch.add_input()
+    for index, latch in enumerate(aig.latches):
+        cls = class_of[index]
+        if cls < 0:
+            mapping[latch.lit] = class_var(~index)
+        else:
+            # Normalized: latch == class placeholder xor init.
+            mapping[latch.lit] = class_var(cls) ^ int(latch.init)
+
+    def map_lit(lit: int) -> int:
+        return mapping[lit & ~1] ^ (lit & 1)
+
+    for gate in aig.ands:
+        mapping[gate.lhs] = scratch.add_and(map_lit(gate.rhs0), map_lit(gate.rhs1))
+
+    signatures = []
+    for latch in aig.latches:
+        init = int(latch.init) if latch.init is not None else 0
+        signatures.append(map_lit(latch.next) ^ init)
+    return signatures
+
+
+class EquivalentLatchPass(ReductionPass):
+    """Merge sequentially equivalent latches onto one representative."""
+
+    name = "merge"
+
+    def run(self, aig: AIG, property_index: int = 0) -> PassResult:
+        classes = equivalent_latch_classes(aig)
+        replace: Dict[int, int] = {}
+        merged_with: Dict[int, LatchFate] = {}
+        for group in classes:
+            rep_index = group[0]
+            rep = aig.latches[rep_index]
+            for index in group[1:]:
+                latch = aig.latches[index]
+                negated = latch.init != rep.init
+                replace[latch.lit] = rep.lit ^ int(negated)
+                merged_with[index] = LatchFate(
+                    kind=MERGED, rep_index=rep_index, negated=negated
+                )
+
+        rebuilt = rebuild_aig(aig, replace=replace, property_index=property_index)
+        fates = []
+        for index in range(aig.num_latches):
+            fate = merged_with.get(index)
+            if fate is None:
+                fate = LatchFate(kind=KEPT, new_index=rebuilt.latch_map[index])
+            fates.append(fate)
+        info = make_info(
+            self.name,
+            aig,
+            rebuilt.aig,
+            merged_latches=len(replace),
+            equivalence_classes=len(classes),
+        )
+        return PassResult(
+            aig=rebuilt.aig,
+            info=info,
+            latch_fates=fates,
+            input_map=rebuilt.input_map,
+            property_index=rebuilt.property_index,
+        )

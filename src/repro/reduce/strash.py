@@ -1,0 +1,50 @@
+"""Structural hashing and constant folding pass.
+
+The AIG builder already folds constants and shares structurally identical
+AND gates at construction time, so a freshly generated circuit gains
+little from this pass on its own.  Its value is *inside a pipeline*:
+after constant-latch sweeping or latch merging substitute literals, whole
+subtrees collapse to constants or become duplicates of existing gates,
+and re-running the circuit through the builder (plus the dead-gate sweep
+every rebuild performs) reclaims that logic.  All inputs and latches are
+preserved bit for bit, so the reconstruction map is the identity on
+state.
+"""
+
+from __future__ import annotations
+
+from repro.aiger.aig import AIG
+from repro.reduce.base import (
+    KEPT,
+    LatchFate,
+    PassResult,
+    ReductionPass,
+    make_info,
+    rebuild_aig,
+)
+
+
+class StructuralHashPass(ReductionPass):
+    """Rebuild the circuit through the hashing builder; drop dead gates."""
+
+    name = "strash"
+
+    def run(self, aig: AIG, property_index: int = 0) -> PassResult:
+        rebuilt = rebuild_aig(aig, property_index=property_index)
+        fates = [
+            LatchFate(kind=KEPT, new_index=rebuilt.latch_map[index])
+            for index in range(aig.num_latches)
+        ]
+        info = make_info(
+            self.name,
+            aig,
+            rebuilt.aig,
+            folded_ands=aig.num_ands - rebuilt.aig.num_ands,
+        )
+        return PassResult(
+            aig=rebuilt.aig,
+            info=info,
+            latch_fates=fates,
+            input_map=rebuilt.input_map,
+            property_index=rebuilt.property_index,
+        )

@@ -1,0 +1,118 @@
+"""Constant-latch sweeping via ternary (three-valued) simulation.
+
+The pass computes the least fixpoint of the ternary reachability
+iteration ``S0 = init``, ``S_{k+1} = S_k ⊔ eval(S_k)`` with every input
+at X (unknown) and joins toward X.  Ternary evaluation is sound: if a
+signal evaluates to 0/1 under a partial state, it has that value for
+*every* completion.  A latch still binary at the fixpoint therefore
+holds that constant in every reachable state of the real circuit, so it
+can be replaced by the constant and swept — which in turn lets fan-out
+logic fold away on the rebuild.
+
+The constancy facts are *inductive* (mutually, over all swept latches):
+given every swept latch at its constant, each next-state function
+ternary-evaluates back to the constant.  Certificate lift-back relies on
+this by emitting one unit clause per swept latch (see
+:mod:`repro.reduce.recon`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.aiger.aig import AIG, FALSE_LIT, TRUE_LIT
+from repro.reduce.base import (
+    CONST,
+    KEPT,
+    LatchFate,
+    PassResult,
+    ReductionPass,
+    make_info,
+    rebuild_aig,
+)
+
+# Ternary domain: True / False / None (= X, unknown).
+_X = None
+
+
+def ternary_constants(aig: AIG) -> Dict[int, bool]:
+    """Latch literal -> proven constant value, from the ternary fixpoint.
+
+    Latches without a defined reset start at X and are never reported.
+    """
+    state: Dict[int, Optional[bool]] = {
+        latch.lit: (bool(latch.init) if latch.init is not None else _X)
+        for latch in aig.latches
+    }
+    while True:
+        values = _evaluate_ternary(aig, state)
+        changed = False
+        for latch in aig.latches:
+            current = state[latch.lit]
+            if current is _X:
+                continue
+            if values[latch.next] != current:
+                state[latch.lit] = _X  # join toward X (monotone widening)
+                changed = True
+        if not changed:
+            break
+    return {lit: value for lit, value in state.items() if value is not _X}
+
+
+def _evaluate_ternary(
+    aig: AIG, latch_state: Dict[int, Optional[bool]]
+) -> Dict[int, Optional[bool]]:
+    """Three-valued evaluation of every literal for one time step."""
+    values: Dict[int, Optional[bool]] = {FALSE_LIT: False, TRUE_LIT: True}
+
+    def set_both(lit: int, value: Optional[bool]) -> None:
+        values[lit] = value
+        values[lit ^ 1] = (not value) if value is not _X else _X
+
+    for lit in aig.inputs:
+        set_both(lit, _X)
+    for latch in aig.latches:
+        set_both(latch.lit, latch_state[latch.lit])
+    for gate in aig.ands:
+        a, b = values[gate.rhs0], values[gate.rhs1]
+        if a is False or b is False:
+            result: Optional[bool] = False
+        elif a is _X or b is _X:
+            result = _X
+        else:
+            result = True
+        set_both(gate.lhs, result)
+    return values
+
+
+class TernaryConstantPass(ReductionPass):
+    """Sweep latches that ternary simulation proves stuck at a constant."""
+
+    name = "ternary"
+
+    def run(self, aig: AIG, property_index: int = 0) -> PassResult:
+        constants = ternary_constants(aig)
+        replace = {
+            lit: (TRUE_LIT if value else FALSE_LIT)
+            for lit, value in constants.items()
+        }
+        rebuilt = rebuild_aig(aig, replace=replace, property_index=property_index)
+        fates = []
+        for index, latch in enumerate(aig.latches):
+            if latch.lit in constants:
+                fates.append(LatchFate(kind=CONST, value=constants[latch.lit]))
+            else:
+                fates.append(LatchFate(kind=KEPT, new_index=rebuilt.latch_map[index]))
+        info = make_info(
+            self.name,
+            aig,
+            rebuilt.aig,
+            constant_latches=len(constants),
+        )
+        return PassResult(
+            aig=rebuilt.aig,
+            info=info,
+            latch_fates=fates,
+            input_map=rebuilt.input_map,
+            property_index=rebuilt.property_index,
+        )

@@ -1,27 +1,28 @@
-"""Cone-of-influence (COI) reduction.
+"""Cone-of-influence (COI) reduction — backward-compatible shim.
 
-Industrial AIGER models routinely contain logic that cannot affect the
-property being checked; every serious model checker (including the ones
-the paper evaluates) first restricts the circuit to the *cone of
-influence* of the property: the set of latches, inputs and gates that the
-bad signal transitively depends on, where latch dependencies follow the
-next-state functions.  The reduction is sound and complete — the reduced
-circuit is unsafe iff the original one is — and can shrink the IC3 state
-space dramatically.
-
-Example::
+The COI logic moved into the pass-managed reduction subsystem
+(:mod:`repro.reduce`), where it composes with structural hashing,
+ternary constant sweeping and equivalent-latch merging and where
+counterexamples and certificates are lifted back to the original model.
+This module keeps the original one-shot API alive::
 
     from repro.ts import reduce_to_coi
     reduced, info = reduce_to_coi(aig, property_index=0)
     outcome = IC3(reduced).check()
+
+New code should prefer :func:`repro.reduce.reduce_aig` (the full default
+pipeline) or :class:`repro.reduce.ConeOfInfluencePass` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from dataclasses import dataclass
+from typing import Tuple
 
-from repro.aiger.aig import AIG, FALSE_LIT, TRUE_LIT, AndGate, Latch
+from repro.aiger.aig import AIG
+from repro.reduce.coi import ConeOfInfluencePass, coi_variables
+
+__all__ = ["CoiInfo", "coi_variables", "reduce_to_coi"]
 
 
 @dataclass
@@ -41,91 +42,22 @@ class CoiInfo:
         return bool(self.removed_latches or self.removed_inputs or self.removed_ands)
 
 
-def coi_variables(aig: AIG, property_index: int = 0) -> Set[int]:
-    """Variables (AIG variable indices) in the property's cone of influence.
-
-    The cone is closed under combinational fan-in and under latch
-    next-state functions; invariant constraints are always included because
-    they restrict every behaviour of the circuit.
-    """
-    aig.validate()
-    bads = aig.bads if aig.bads else aig.outputs
-    if not bads:
-        raise ValueError("the AIG declares neither bad states nor outputs")
-    if not 0 <= property_index < len(bads):
-        raise ValueError(f"property index {property_index} out of range")
-
-    gate_by_var: Dict[int, AndGate] = {gate.lhs >> 1: gate for gate in aig.ands}
-    latch_by_var: Dict[int, Latch] = {latch.lit >> 1: latch for latch in aig.latches}
-
-    roots = [bads[property_index]] + list(aig.constraints)
-    pending: List[int] = [lit >> 1 for lit in roots if lit > 1]
-    reached: Set[int] = set()
-    while pending:
-        var = pending.pop()
-        if var in reached or var == 0:
-            continue
-        reached.add(var)
-        gate = gate_by_var.get(var)
-        if gate is not None:
-            pending.append(gate.rhs0 >> 1)
-            pending.append(gate.rhs1 >> 1)
-            continue
-        latch = latch_by_var.get(var)
-        if latch is not None:
-            pending.append(latch.next >> 1)
-    return reached
-
-
-def reduce_to_coi(aig: AIG, property_index: int = 0):
+def reduce_to_coi(aig: AIG, property_index: int = 0) -> Tuple[AIG, CoiInfo]:
     """Return ``(reduced_aig, CoiInfo)`` for one property.
 
     The reduced AIG contains only the inputs, latches and AND gates in the
     cone of influence of the selected bad signal (plus all invariant
-    constraints), with the same literal numbering scheme rebuilt from
-    scratch.  Latch reset values and symbol names are preserved.
+    constraints), with the literal numbering rebuilt from scratch.  Latch
+    reset values and symbol names are preserved.
     """
-    cone = coi_variables(aig, property_index)
-    bads = aig.bads if aig.bads else aig.outputs
-
-    reduced = AIG(comment=aig.comment)
-    new_lit_of: Dict[int, int] = {FALSE_LIT: FALSE_LIT, TRUE_LIT: TRUE_LIT}
-
-    def map_lit(lit: int) -> int:
-        base = lit & ~1
-        if base not in new_lit_of:
-            # Referenced variable outside the cone: it cannot influence the
-            # property, so any constant is sound; use FALSE.
-            return FALSE_LIT ^ (lit & 1)
-        return new_lit_of[base] ^ (lit & 1)
-
-    info = CoiInfo()
-    for lit in aig.inputs:
-        if (lit >> 1) in cone:
-            new_lit_of[lit] = reduced.add_input(aig.input_name(lit))
-            info.kept_inputs += 1
-        else:
-            info.removed_inputs += 1
-
-    kept_latches = [latch for latch in aig.latches if (latch.lit >> 1) in cone]
-    info.kept_latches = len(kept_latches)
-    info.removed_latches = aig.num_latches - info.kept_latches
-    for latch in kept_latches:
-        new_lit_of[latch.lit] = reduced.add_latch(init=latch.init, name=latch.name)
-
-    for gate in aig.ands:
-        if (gate.lhs >> 1) in cone:
-            new_lit_of[gate.lhs] = reduced.add_and(
-                map_lit(gate.rhs0), map_lit(gate.rhs1)
-            )
-            info.kept_ands += 1
-        else:
-            info.removed_ands += 1
-
-    for latch in kept_latches:
-        reduced.set_latch_next(new_lit_of[latch.lit], map_lit(latch.next))
-    for constraint in aig.constraints:
-        reduced.add_constraint(map_lit(constraint))
-    reduced.add_bad(map_lit(bads[property_index]))
-    reduced.validate()
-    return reduced, info
+    result = ConeOfInfluencePass().run(aig, property_index=property_index)
+    info = result.info
+    coi_info = CoiInfo(
+        kept_latches=info.latches_after,
+        removed_latches=info.latches_before - info.latches_after,
+        kept_inputs=info.inputs_after,
+        removed_inputs=info.inputs_before - info.inputs_after,
+        kept_ands=info.ands_after,
+        removed_ands=info.ands_before - info.ands_after,
+    )
+    return result.aig, coi_info

@@ -16,7 +16,7 @@ used to validate invariant certificates and counterexample traces.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, List
 
 from repro.aiger.aig import AIG, FALSE_LIT, TRUE_LIT
 from repro.logic.cnf import CNF

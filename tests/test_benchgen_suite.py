@@ -1,6 +1,5 @@
 """Tests for benchmark suite assembly."""
 
-import pytest
 
 from repro.benchgen import SuiteSpec, build_suite, default_suite, quick_suite
 from repro.core import CheckResult

@@ -1,6 +1,5 @@
 """Tests for the inductive-generalization (MIC) strategies."""
 
-import pytest
 
 from repro.benchgen import token_ring, modular_counter, round_robin_arbiter
 from repro.core.frames import FrameManager

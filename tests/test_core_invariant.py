@@ -116,7 +116,6 @@ class TestCounterexampleValidation:
 
     def test_rejects_trace_with_corrupted_state(self, unsafe_run):
         case, outcome = unsafe_run
-        ts = TransitionSystem(case.aig)
         steps = list(outcome.trace.steps)
         # Flip every latch literal of the last state.
         final = steps[-1]

@@ -1,6 +1,5 @@
 """Tests for the k-induction engine."""
 
-import pytest
 
 from repro.benchgen import (
     combination_lock,

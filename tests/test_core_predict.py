@@ -1,11 +1,10 @@
 """Tests for the CTP table and the lemma-prediction algorithm (Algorithm 2)."""
 
-import pytest
 
 from repro.benchgen import token_ring, modular_counter
 from repro.core.frames import FrameManager
 from repro.core.options import IC3Options
-from repro.core.predict import CtpTable, LemmaPredictor, Prediction
+from repro.core.predict import CtpTable, LemmaPredictor
 from repro.core.stats import IC3Stats
 from repro.core.ic3 import IC3
 from repro.core.result import CheckResult

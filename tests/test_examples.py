@@ -1,0 +1,58 @@
+"""Smoke tests: every script in examples/ must run against the current API.
+
+The examples are documentation that executes; none of them were exercised
+by CI before, so interface changes (like the engine refactor of PR 1 or
+the reduction subsystem) could silently break them.  Each test runs one
+script in a subprocess with arguments chosen to finish quickly and only
+asserts a clean exit — the scripts contain their own assertions.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+# Script name -> fast smoke-test arguments.
+EXAMPLE_ARGS = {
+    "quickstart.py": [],
+    "verify_aiger_file.py": [],
+    "counterexample_trace.py": [],
+    "compare_generalization.py": ["3", "4"],
+    "reproduce_paper.py": ["--quick", "--timeout", "2", "--jobs", "0"],
+}
+
+
+def _run_example(name, args):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+        cwd=str(REPO_ROOT),
+    )
+
+
+def test_every_example_is_covered():
+    """A new example script must be added to EXAMPLE_ARGS."""
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXAMPLE_ARGS)
+
+
+@pytest.mark.parametrize("name", sorted(EXAMPLE_ARGS))
+def test_example_runs_clean(name):
+    completed = _run_example(name, EXAMPLE_ARGS[name])
+    assert completed.returncode == 0, (
+        f"{name} exited with {completed.returncode}\n"
+        f"--- stdout ---\n{completed.stdout[-2000:]}\n"
+        f"--- stderr ---\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{name} produced no output"

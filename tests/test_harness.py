@@ -2,14 +2,12 @@
 
 import pytest
 
-from repro.benchgen import modular_counter, token_ring, combination_lock, quick_suite
+from repro.benchgen import modular_counter, token_ring, combination_lock
 from repro.core import CheckResult, IC3Options
-from repro.core.stats import IC3Stats
 from repro.harness import (
     BenchmarkRunner,
     CaseResult,
     EngineConfig,
-    SuiteResult,
     cactus_data,
     paper_configurations,
     prediction_pairs,

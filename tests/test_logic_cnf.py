@@ -1,6 +1,5 @@
 """Unit tests for the CNF container."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.logic import CNF, Clause, Cube

@@ -22,6 +22,8 @@ class TestTopLevelExports:
 
         case = token_ring(3)
         assert IC3(case.aig, IC3Options()).check().result == CheckResult.SAFE
+        assert BMC(case.aig).check(max_depth=2).result == CheckResult.UNKNOWN
+        assert KInduction(case.aig).check(max_k=5).result == CheckResult.SAFE
 
     @pytest.mark.parametrize(
         "module_name",
@@ -31,6 +33,7 @@ class TestTopLevelExports:
             "repro.aiger",
             "repro.ts",
             "repro.core",
+            "repro.reduce",
             "repro.benchgen",
             "repro.harness",
             "repro.cli",
@@ -52,6 +55,8 @@ class TestTopLevelExports:
             "repro.core.ic3",
             "repro.core.predict",
             "repro.core.generalize",
+            "repro.reduce.pipeline",
+            "repro.reduce.recon",
             "repro.benchgen.suite",
             "repro.harness.report",
         ],

@@ -127,17 +127,24 @@ class TestJobsParity:
 
     def test_same_ordering_and_verdicts(self, runs):
         one, four = runs
-        key = lambda sr: [(r.case_name, r.config_name, r.result) for r in sr.results]
+
+        def key(sr):
+            return [(r.case_name, r.config_name, r.result) for r in sr.results]
+
         assert key(one) == key(four)
         assert one.configs() == four.configs()
         assert one.cases() == four.cases()
 
     def test_table1_identical_up_to_runtimes(self, runs):
         one, four = runs
-        strip = lambda sr: [
-            [cell for i, cell in enumerate(row) if summary_table(sr).columns[i] != "Time(PAR1)"]
-            for row in summary_table(sr).rows
-        ]
+
+        def strip(sr):
+            table = summary_table(sr)
+            return [
+                [cell for i, cell in enumerate(row) if table.columns[i] != "Time(PAR1)"]
+                for row in table.rows
+            ]
+
         assert strip(one) == strip(four)
 
     def test_table2_byte_identical(self, runs):
@@ -214,6 +221,52 @@ class TestManifest:
         path = tmp_path / "run.json"
         write_manifest(str(path), manifest)
         assert json.loads(path.read_text()) == json.loads(json.dumps(manifest))
+
+
+class TestManifestV2:
+    """Schema v2: winner, engine statistics and reduction sizes per result."""
+
+    @pytest.fixture(scope="class")
+    def soc_suite_result(self):
+        from repro.benchgen import monitored_counter
+
+        cases = [monitored_counter(3, noise=4, safe=False)]
+        configs = [
+            EngineConfig(name="Portfolio", engine="portfolio"),
+            EngineConfig(name="IC3", engine="ic3"),
+        ]
+        return BenchmarkRunner(cases, configs, timeout=30.0, jobs=1).run()
+
+    def test_winner_serialized(self, soc_suite_result):
+        manifest = build_manifest(soc_suite_result, suite="unit")
+        portfolio = next(
+            r for r in manifest["results"] if r["config"] == "Portfolio"
+        )
+        assert portfolio["winner"] in ("ic3-pl", "bmc", "kind")
+        plain = next(r for r in manifest["results"] if r["config"] == "IC3")
+        assert plain["winner"] is None
+
+    def test_stats_serialized(self, soc_suite_result):
+        manifest = build_manifest(soc_suite_result, suite="unit")
+        plain = next(r for r in manifest["results"] if r["config"] == "IC3")
+        assert plain["stats"]["sat_calls"] > 0
+        json.dumps(manifest)  # everything stays JSON-serializable
+
+    def test_reduction_sizes_serialized(self, soc_suite_result):
+        manifest = build_manifest(soc_suite_result, suite="unit", reduce=True)
+        assert manifest["reduce"] is True
+        for entry in manifest["results"]:
+            reduction = entry["reduction"]
+            assert reduction["original"]["latches"] > reduction["reduced"]["latches"]
+            assert reduction["passes"]
+
+    def test_reduction_none_when_disabled(self):
+        suite_result = BenchmarkRunner(
+            [token_ring(3)], PARITY_CONFIGS[:1], timeout=30.0, jobs=1, reduce=False
+        ).run()
+        manifest = build_manifest(suite_result, suite="unit", reduce=False)
+        assert manifest["reduce"] is False
+        assert all(entry["reduction"] is None for entry in manifest["results"])
 
 
 class TestWorkerCrashes:

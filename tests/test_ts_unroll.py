@@ -1,10 +1,8 @@
 """Tests for the time-frame unroller (the substrate of BMC / k-induction)."""
 
-import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.aiger import AIG
-from repro.benchgen import modular_counter, token_ring, combination_lock
+from repro.benchgen import modular_counter, combination_lock
 from repro.sat import Solver
 from repro.ts import Unroller
 
