@@ -1,0 +1,210 @@
+"""Monolithic vs per-frame frame-management substrate comparison.
+
+Runs IC3 on a benchmark suite twice — once per frame backend — and
+reports, per case and in total: wall time, verdicts (which must not
+drift), physical lemma-clause traffic (the monolithic backend adds each
+lemma once; the per-frame baseline copies it into every covered frame)
+and the substrate counters of manifest schema v3.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/substrate_compare.py \
+        --suite quick --timeout 5 --output substrate.json \
+        --max-slowdown 1.5
+
+Exit status is non-zero when the two backends disagree on any verdict,
+or when ``--max-slowdown`` is given and the monolithic backend's total
+IC3 wall time exceeds ``max_slowdown x`` the per-frame baseline's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.benchgen.suite import (
+    default_suite,
+    extended_suite,
+    quick_suite,
+    reduction_suite,
+)
+from repro.core import IC3, IC3Options
+from repro.reduce import reduce_aig
+
+SUITES = {
+    "quick": quick_suite,
+    "default": default_suite,
+    "extended": extended_suite,
+    "reduction": reduction_suite,
+}
+
+BACKENDS = ("per-frame", "monolithic")
+
+
+def run_suite(args: argparse.Namespace) -> dict:
+    """Run every case under both backends and assemble the comparison."""
+    cases = SUITES[args.suite]()
+    results = []
+    totals = {
+        backend: {
+            "wall_time": 0.0,
+            "solved": 0,
+            "sat_calls": 0,
+            "lemma_clauses_added": 0,
+            "lemma_clauses_removed": 0,
+            "solver_clauses_shared": 0,
+            "solver_clauses_duplicated": 0,
+            "solver_rebuilds": 0,
+            "activation_vars_recycled": 0,
+            "assumption_levels_reused": 0,
+        }
+        for backend in BACKENDS
+    }
+    drift = []
+
+    for case in cases:
+        if args.no_reduce:
+            model, prop = case.aig, 0
+        else:
+            reduction = reduce_aig(case.aig)
+            model, prop = reduction.aig, reduction.property_index
+        row = {"case": case.name}
+        for backend in BACKENDS:
+            options = IC3Options(frame_backend=backend)
+            # Best-of-N wall time: repeats damp scheduler noise on shared
+            # CI runners (counters are deterministic across repeats).
+            elapsed = None
+            for _ in range(max(args.repeat, 1)):
+                start = time.perf_counter()
+                outcome = IC3(model, options, property_index=prop).check(
+                    time_limit=args.timeout
+                )
+                run_time = time.perf_counter() - start
+                if elapsed is None or run_time < elapsed:
+                    elapsed = run_time
+            stats = outcome.stats
+            row[backend] = {
+                "result": outcome.result.value,
+                "wall_time": round(elapsed, 6),
+                "frames": outcome.frames,
+                "sat_calls": stats.sat_calls,
+                "lemmas_added": stats.lemmas_added,
+                "lemma_clauses_added": stats.lemma_clauses_added,
+                "lemma_clauses_removed": stats.lemma_clauses_removed,
+                "solver_clauses_shared": stats.solver_clauses_shared,
+                "solver_clauses_duplicated": stats.solver_clauses_duplicated,
+                "solver_rebuilds": stats.solver_rebuilds,
+                "activation_vars_recycled": stats.activation_vars_recycled,
+                "assumption_levels_reused": stats.assumption_levels_reused,
+            }
+            bucket = totals[backend]
+            bucket["wall_time"] += elapsed
+            bucket["solved"] += int(outcome.result.value != "unknown")
+            for key in (
+                "sat_calls",
+                "lemma_clauses_added",
+                "lemma_clauses_removed",
+                "solver_clauses_shared",
+                "solver_clauses_duplicated",
+                "solver_rebuilds",
+                "activation_vars_recycled",
+                "assumption_levels_reused",
+            ):
+                bucket[key] += row[backend][key]
+        if row["per-frame"]["result"] != row["monolithic"]["result"]:
+            drift.append(row["case"])
+        results.append(row)
+
+    for bucket in totals.values():
+        bucket["wall_time"] = round(bucket["wall_time"], 6)
+    pf_time = totals["per-frame"]["wall_time"]
+    mono_time = totals["monolithic"]["wall_time"]
+    pf_clauses = totals["per-frame"]["lemma_clauses_added"]
+    mono_net = (
+        totals["monolithic"]["lemma_clauses_added"]
+        - totals["monolithic"]["lemma_clauses_removed"]
+    )
+    return {
+        "suite": args.suite,
+        "timeout": args.timeout,
+        "reduce": not args.no_reduce,
+        "num_cases": len(cases),
+        "totals": totals,
+        "speedup_monolithic": round(pf_time / mono_time, 4) if mono_time else None,
+        "clause_reduction": (
+            round(1.0 - mono_net / pf_clauses, 4) if pf_clauses else None
+        ),
+        "verdict_drift": drift,
+        "results": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", choices=sorted(SUITES), default="quick")
+    parser.add_argument("--timeout", type=float, default=5.0, help="per-case limit")
+    parser.add_argument(
+        "--no-reduce", action="store_true", help="run on the unreduced models"
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="runs per (case, backend); the fastest is recorded (noise damping)",
+    )
+    parser.add_argument("--output", default=None, help="write the JSON report here")
+    parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=None,
+        help="fail if monolithic total wall time exceeds this factor of per-frame",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_suite(args)
+    totals = report["totals"]
+    print(
+        f"substrate comparison ({report['suite']} suite, {report['num_cases']} cases, "
+        f"reduce={report['reduce']}):"
+    )
+    for backend in BACKENDS:
+        bucket = totals[backend]
+        print(
+            f"  {backend:<11s} wall={bucket['wall_time']:.2f}s "
+            f"solved={bucket['solved']} sat_calls={bucket['sat_calls']} "
+            f"lemma_clauses={bucket['lemma_clauses_added']} "
+            f"(shared={bucket['solver_clauses_shared']}, "
+            f"duplicated={bucket['solver_clauses_duplicated']}, "
+            f"removed={bucket['lemma_clauses_removed']}, "
+            f"rebuilds={bucket['solver_rebuilds']})"
+        )
+    print(
+        f"  monolithic speedup: {report['speedup_monolithic']}x, "
+        f"lemma-clause reduction: "
+        f"{report['clause_reduction'] * 100 if report['clause_reduction'] is not None else 0:.1f}%"
+    )
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"  report written to {args.output}")
+
+    if report["verdict_drift"]:
+        print(f"FAIL: verdict drift on {report['verdict_drift']}")
+        return 1
+    if args.max_slowdown is not None and report["speedup_monolithic"] is not None:
+        if report["speedup_monolithic"] < 1.0 / args.max_slowdown:
+            print(
+                f"FAIL: monolithic backend slower than "
+                f"{args.max_slowdown}x per-frame baseline "
+                f"(speedup {report['speedup_monolithic']}x)"
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,10 +35,11 @@ from repro.benchgen.suite import (
     quick_suite,
     reduction_suite,
 )
+from repro.core.frames import available_frame_backends
 from repro.core.options import IC3Options
 from repro.core.result import CheckResult
 from repro.engines import available_engines, create_engine
-from repro.harness.configs import paper_configurations
+from repro.harness.configs import apply_frame_backend, paper_configurations
 from repro.harness.manifest import build_manifest, write_manifest
 from repro.harness.report import run_paper_evaluation
 from repro.reduce import available_passes, reduce_aig
@@ -83,6 +84,12 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--timeout", type=float, default=None, help="time limit in seconds")
     check.add_argument("--max-depth", type=int, default=50, help="BMC depth bound")
     check.add_argument("--max-k", type=int, default=20, help="k-induction bound")
+    check.add_argument(
+        "--frame-backend",
+        choices=available_frame_backends(),
+        default=None,
+        help="IC3 frame-management substrate (default: monolithic)",
+    )
     check.add_argument(
         "--jobs",
         type=int,
@@ -143,6 +150,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-reduce",
         action="store_true",
         help="solve the original models without reduction preprocessing",
+    )
+    evaluate.add_argument(
+        "--frame-backend",
+        choices=available_frame_backends(),
+        default=None,
+        help="frame-management substrate for every IC3 configuration",
     )
     evaluate.add_argument("--verbose", action="store_true", help="per-case progress")
 
@@ -208,6 +221,8 @@ def _engine_kwargs(args: argparse.Namespace) -> dict:
         "reduce": not args.no_reduce,
         "passes": _parse_passes(args.passes),
     }
+    if getattr(args, "frame_backend", None):
+        kwargs["frame_backend"] = args.frame_backend
     if args.engine == "bmc":
         kwargs["max_depth"] = args.max_depth
     elif args.engine in ("kind", "k-induction"):
@@ -280,17 +295,19 @@ def _command_evaluate(args: argparse.Namespace) -> int:
         verbose=args.verbose,
         jobs=args.jobs,
         reduce=not args.no_reduce,
+        frame_backend=args.frame_backend,
     )
     wall_clock = time.perf_counter() - start
     print(report.to_text())
     if args.output:
+        configs = apply_frame_backend(paper_configurations(), args.frame_backend)
         manifest = build_manifest(
             report.suite_result,
             suite=suite_name,
             jobs=args.jobs,
             validate=args.validate,
             reduce=not args.no_reduce,
-            configs=paper_configurations(),
+            configs=configs,
             wall_clock=wall_clock,
         )
         write_manifest(args.output, manifest)

@@ -29,7 +29,10 @@ class BMC:
     def __init__(self, aig: AIG, property_index: int = 0):
         self.aig = aig
         self.property_index = property_index
-        self.unroller = Unroller(aig)
+        # One persistent unrolling for the whole run: deeper bounds only
+        # append frames, and the initial-state constraint rides along as
+        # an assumption so the encoding itself stays reusable.
+        self.unroller = Unroller(aig, init_as_assumption=True)
         self.stats = IC3Stats()
 
     def check(
@@ -49,7 +52,12 @@ class BMC:
                 return self._outcome(CheckResult.UNKNOWN, start, reason="time limit reached")
             bad_lit = self.unroller.bad_lit_at(depth, self.property_index)
             self.stats.sat_calls += 1
-            if self.unroller.solver.solve([bad_lit]):
+            sat_start = time.perf_counter()
+            satisfiable = self.unroller.solver.solve(
+                self.unroller.init_assumptions() + [bad_lit]
+            )
+            self.stats.sat_time += time.perf_counter() - sat_start
+            if satisfiable:
                 trace = self._extract_trace(depth)
                 outcome = self._outcome(CheckResult.UNSAFE, start)
                 outcome.trace = trace
@@ -63,7 +71,9 @@ class BMC:
         """True if a counterexample of exactly ``depth`` transitions exists."""
         bad_lit = self.unroller.bad_lit_at(depth, self.property_index)
         self.stats.sat_calls += 1
-        return self.unroller.solver.solve([bad_lit])
+        return self.unroller.solver.solve(
+            self.unroller.init_assumptions() + [bad_lit]
+        )
 
     # ------------------------------------------------------------------
     def _extract_trace(self, depth: int) -> CounterexampleTrace:

@@ -25,7 +25,7 @@ import time
 from typing import Dict, Optional, Tuple, Union
 
 from repro.aiger.aig import AIG
-from repro.core.frames import BadState, FrameManager
+from repro.core.frames import BadState, make_frame_manager
 from repro.core.generalize import make_generalizer
 from repro.core.obligations import Obligation, ObligationQueue
 from repro.core.options import IC3Options
@@ -59,7 +59,7 @@ class IC3:
         self.options.validate()
 
         self.stats = IC3Stats()
-        self.frames = FrameManager(self.ts, self.options, self.stats)
+        self.frames = make_frame_manager(self.ts, self.options, self.stats)
         self._literal_activity: Dict[int, float] = {}
         self.generalizer = make_generalizer(
             self.frames, self.ts, self.options, self.stats, self._literal_activity
@@ -85,6 +85,7 @@ class IC3:
         except _BudgetSignal as signal:
             outcome = self._unknown(str(signal))
         outcome.runtime = time.perf_counter() - self._start_time
+        self.frames.finalize_stats()
         outcome.stats = self.stats
         outcome.stats.time_total = outcome.runtime
         outcome.frames = self.frames.top_level

@@ -6,6 +6,13 @@ satisfying states are followed by another one (step case, checked on an
 unrolling that is not anchored at the initial states).  k-induction can
 prove safety for many shallow properties and serves as an additional
 baseline and cross-check for IC3's SAFE verdicts.
+
+Both cases run on **one** persistent unrolling per engine: the
+initial-state constraint is guarded by an activation literal (see
+:class:`~repro.ts.unroll.Unroller`), so the base case assumes it while
+the step case leaves frame 0 unconstrained — the time-frame clauses and
+everything the solver learns about them are shared, and increasing ``k``
+only appends frames instead of re-encoding two unrollings per bound.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ class KInduction:
     def __init__(self, aig: AIG, property_index: int = 0):
         self.aig = aig
         self.property_index = property_index
+        self.unroller = Unroller(aig, use_init=True, init_as_assumption=True)
         self.stats = IC3Stats()
 
     def check(
@@ -36,30 +44,37 @@ class KInduction:
         start = time.perf_counter()
         deadline = start + time_limit if time_limit is not None else None
 
-        base_unroller = Unroller(self.aig, use_init=True)
-        step_unroller = Unroller(self.aig, use_init=False)
+        unroller = self.unroller
 
         for k in range(1, max_k + 1):
             if deadline is not None and time.perf_counter() > deadline:
                 return self._outcome(CheckResult.UNKNOWN, start, "time limit reached")
 
-            # Base case: no counterexample of length < k.
-            bad = base_unroller.bad_lit_at(k - 1, self.property_index)
+            # Base case: no counterexample of length < k (frame 0 is
+            # anchored at the initial states through the init assumption).
+            bad = unroller.bad_lit_at(k - 1, self.property_index)
             self.stats.sat_calls += 1
-            if base_unroller.solver.solve([bad]):
+            sat_start = time.perf_counter()
+            base_sat = unroller.solver.solve(unroller.init_assumptions() + [bad])
+            self.stats.sat_time += time.perf_counter() - sat_start
+            if base_sat:
                 outcome = self._outcome(CheckResult.UNSAFE, start)
                 outcome.frames = k - 1
                 return outcome
 
-            # Step case: k good states are followed by a good state.
+            # Step case: k good states are followed by a good state, on
+            # the same unrolling but without the init assumption.
             # Assume !bad at frames 0..k-1, ask for bad at frame k.
             assumptions = [
-                -step_unroller.bad_lit_at(frame, self.property_index)
+                -unroller.bad_lit_at(frame, self.property_index)
                 for frame in range(k)
             ]
-            assumptions.append(step_unroller.bad_lit_at(k, self.property_index))
+            assumptions.append(unroller.bad_lit_at(k, self.property_index))
             self.stats.sat_calls += 1
-            if not step_unroller.solver.solve(assumptions):
+            sat_start = time.perf_counter()
+            step_sat = unroller.solver.solve(assumptions)
+            self.stats.sat_time += time.perf_counter() - sat_start
+            if not step_sat:
                 outcome = self._outcome(CheckResult.SAFE, start)
                 outcome.certificate = Certificate(clauses=[], level=k)
                 outcome.frames = k

@@ -26,7 +26,9 @@ class IC3Stats:
     sat_calls: int = 0
     sat_time: float = 0.0
     consecution_calls: int = 0
+    consecution_fallbacks: int = 0
     lifting_calls: int = 0
+    assumption_levels_reused: int = 0
 
     # Frame / lemma activity
     frames_opened: int = 0
@@ -36,6 +38,17 @@ class IC3Stats:
     obligations_processed: int = 0
     bad_cubes: int = 0
     ctis: int = 0
+
+    # Solving-substrate activity (manifest schema v3)
+    lemma_clauses_added: int = 0      # physical lemma clause insertions
+    lemma_clauses_removed: int = 0    # promoted/subsumed copies deleted
+    solver_clauses_shared: int = 0    # placements served by an existing clause
+    solver_clauses_duplicated: int = 0  # per-frame copies beyond the first
+    solver_garbage_lemmas: int = 0    # dead lemma clauses left in solvers
+    solver_rebuilds: int = 0          # from-scratch solver reconstructions
+    activation_vars_allocated: int = 0
+    activation_vars_recycled: int = 0
+    activation_vars_retired: int = 0
 
     # Generalization activity
     generalizations: int = 0          # N_g
@@ -89,7 +102,9 @@ class IC3Stats:
         data = {
             "sat_calls": self.sat_calls,
             "consecution_calls": self.consecution_calls,
+            "consecution_fallbacks": self.consecution_fallbacks,
             "lifting_calls": self.lifting_calls,
+            "assumption_levels_reused": self.assumption_levels_reused,
             "frames_opened": self.frames_opened,
             "lemmas_added": self.lemmas_added,
             "lemmas_pushed": self.lemmas_pushed,
@@ -97,6 +112,15 @@ class IC3Stats:
             "obligations_processed": self.obligations_processed,
             "bad_cubes": self.bad_cubes,
             "ctis": self.ctis,
+            "lemma_clauses_added": self.lemma_clauses_added,
+            "lemma_clauses_removed": self.lemma_clauses_removed,
+            "solver_clauses_shared": self.solver_clauses_shared,
+            "solver_clauses_duplicated": self.solver_clauses_duplicated,
+            "solver_garbage_lemmas": self.solver_garbage_lemmas,
+            "solver_rebuilds": self.solver_rebuilds,
+            "activation_vars_allocated": self.activation_vars_allocated,
+            "activation_vars_recycled": self.activation_vars_recycled,
+            "activation_vars_retired": self.activation_vars_retired,
             "generalizations": self.generalizations,
             "mic_drop_attempts": self.mic_drop_attempts,
             "mic_drop_successes": self.mic_drop_successes,

@@ -18,6 +18,7 @@ numbering.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional, Sequence
 
 from repro.aiger.aig import AIG
@@ -68,9 +69,15 @@ class IC3Engine:
         name: Optional[str] = None,
         reduce: bool = True,
         passes: Optional[Sequence[str]] = None,
+        frame_backend: Optional[str] = None,
+        sat_backend: Optional[str] = None,
         **_ignored,
     ):
         self.options = options if options is not None else IC3Options()
+        if frame_backend is not None:
+            self.options = replace(self.options, frame_backend=frame_backend)
+        if sat_backend is not None:
+            self.options = replace(self.options, sat_backend=sat_backend)
         self.name = name or ("ic3-pl" if self.options.enable_prediction else "ic3")
         model, model_property, self.reduction = prepare_model(
             aig, property_index, reduce, passes

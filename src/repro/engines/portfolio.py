@@ -70,6 +70,8 @@ class PortfolioEngine:
         grace: float = 0.5,
         reduce: bool = True,
         passes: Optional[Sequence[str]] = None,
+        frame_backend: Optional[str] = None,
+        sat_backend: Optional[str] = None,
         **_ignored,
     ):
         if not engines:
@@ -81,6 +83,13 @@ class PortfolioEngine:
         self.options = options
         self.jobs = jobs if jobs and jobs > 0 else len(self.engines)
         self.member_kwargs = dict(member_kwargs or {})
+        # Substrate selection applies to every member that honours it
+        # (the IC3 adapters); per-member kwargs still win on conflict.
+        self._common_kwargs: Dict[str, object] = {}
+        if frame_backend is not None:
+            self._common_kwargs["frame_backend"] = frame_backend
+        if sat_backend is not None:
+            self._common_kwargs["sat_backend"] = sat_backend
         self.grace = grace
         # Reduce once in the parent: every member races on the same shrunk
         # model (members are spawned with reduce=False), and the winning
@@ -115,6 +124,7 @@ class PortfolioEngine:
                         else None
                     )
                     kwargs = {"reduce": False}
+                    kwargs.update(self._common_kwargs)
                     kwargs.update(self.member_kwargs.get(member, {}))
                     proc = ctx.Process(
                         target=_run_member,

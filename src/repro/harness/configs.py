@@ -11,8 +11,8 @@ the substitution rationale).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.options import IC3Options
 
@@ -79,6 +79,25 @@ def paper_configurations() -> List[EngineConfig]:
             plays_role_of="PDR as implemented in ABC",
             description="CTG generalization, activity ordering, aggressive push",
         ),
+    ]
+
+
+def apply_frame_backend(
+    configs: Sequence[EngineConfig], frame_backend: Optional[str]
+) -> List[EngineConfig]:
+    """Override the frame-management substrate of every IC3 configuration.
+
+    The single source of truth for the ``--frame-backend`` override: the
+    harness uses it to build the engines it runs and the CLI uses it to
+    record the same configurations in the manifest.
+    """
+    if frame_backend is None:
+        return list(configs)
+    return [
+        replace(config, options=replace(config.options, frame_backend=frame_backend))
+        if config.options is not None
+        else config
+        for config in configs
     ]
 
 

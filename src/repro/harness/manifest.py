@@ -17,6 +17,22 @@ Schema v2 (``repro-check/manifest/v2``) additions over v1:
 * per-result ``reduction`` — original and reduced model sizes plus the
   pass list (None when preprocessing was disabled);
 * top-level ``reduce`` — whether preprocessing was enabled for the run.
+
+Schema v3 (``repro-check/manifest/v3``) additions over v2:
+
+* per-result ``stats`` now includes the solving-substrate counters of
+  the incremental layer: ``lemma_clauses_added`` /
+  ``lemma_clauses_removed`` (physical lemma clause traffic),
+  ``solver_clauses_shared`` vs ``solver_clauses_duplicated`` (frame
+  placements served by one clause vs per-frame copies),
+  ``solver_garbage_lemmas`` and ``solver_rebuilds`` (per-frame backend
+  garbage shedding), ``activation_vars_allocated`` / ``_recycled`` /
+  ``_retired`` (removable-clause scopes), ``consecution_fallbacks``
+  (clause-free consecution re-queries) and ``assumption_levels_reused``
+  (solver trail reuse across queries);
+* per-configuration ``frame_backend`` and ``sat_backend`` — which
+  solving substrate the configuration ran on (None for engines that do
+  not take IC3 options).
 """
 
 from __future__ import annotations
@@ -28,7 +44,7 @@ from typing import Dict, Optional, Sequence
 from repro.harness.configs import EngineConfig
 from repro.harness.runner import CaseResult, SuiteResult
 
-MANIFEST_SCHEMA = "repro-check/manifest/v2"
+MANIFEST_SCHEMA = "repro-check/manifest/v3"
 
 
 def _reduction_sizes(result: CaseResult) -> Optional[Dict[str, object]]:
@@ -59,6 +75,12 @@ def build_manifest(
             "engine": config.engine,
             "plays_role_of": config.plays_role_of,
             "uses_prediction": config.uses_prediction,
+            "frame_backend": (
+                config.options.frame_backend if config.options is not None else None
+            ),
+            "sat_backend": (
+                config.options.sat_backend if config.options is not None else None
+            ),
         }
         for config in (configs or [])
     }

@@ -14,7 +14,12 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.benchgen.case import BenchmarkCase
 from repro.benchgen.suite import default_suite
-from repro.harness.configs import EngineConfig, paper_configurations, prediction_pairs
+from repro.harness.configs import (
+    EngineConfig,
+    apply_frame_backend,
+    paper_configurations,
+    prediction_pairs,
+)
 from repro.harness.figures import (
     RatioData,
     ScatterData,
@@ -93,17 +98,21 @@ def run_paper_evaluation(
     figure4_min_runtime: Optional[float] = None,
     jobs: int = 1,
     reduce: bool = True,
+    frame_backend: Optional[str] = None,
 ) -> PaperReport:
     """Run the full evaluation and return the assembled report.
 
     ``jobs`` parallelizes the (configuration, case) cross product over
     worker processes; the report is deterministic for any jobs value.
     ``reduce=False`` disables the reduction preprocessing pipeline.
+    ``frame_backend`` overrides the frame-management substrate of every
+    IC3-based configuration (``"monolithic"`` or ``"per-frame"``).
     """
     if cases is None:
         cases = default_suite()
     if configs is None:
         configs = paper_configurations()
+    configs = apply_frame_backend(configs, frame_backend)
 
     runner = BenchmarkRunner(
         cases,

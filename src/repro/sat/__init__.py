@@ -10,6 +10,14 @@ and accelerate generalization.
 """
 
 from repro.sat.solver import Solver, SolverStats
+from repro.sat.context import (
+    ContextStats,
+    SatContext,
+    available_sat_backends,
+    register_sat_backend,
+    sat_backend,
+    unregister_sat_backend,
+)
 from repro.sat.exceptions import SolverError, ResourceBudgetExceeded
 from repro.sat.luby import luby
 from repro.sat.dimacs import parse_dimacs, write_dimacs
@@ -17,6 +25,12 @@ from repro.sat.dimacs import parse_dimacs, write_dimacs
 __all__ = [
     "Solver",
     "SolverStats",
+    "SatContext",
+    "ContextStats",
+    "register_sat_backend",
+    "unregister_sat_backend",
+    "sat_backend",
+    "available_sat_backends",
     "SolverError",
     "ResourceBudgetExceeded",
     "luby",

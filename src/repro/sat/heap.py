@@ -13,10 +13,15 @@ from typing import Callable, Dict, List
 
 
 class VarOrderHeap:
-    """Max-heap of variables keyed by an external activity function."""
+    """Max-heap of variables keyed by an external activity function.
+
+    ``activity`` may be a callable or an indexable sequence; passing the
+    activity list directly lets the hot sift loops use the C-level
+    ``__getitem__`` instead of a Python lambda frame per comparison.
+    """
 
     def __init__(self, activity: Callable[[int], float]):
-        self._activity = activity
+        self._activity = activity if callable(activity) else activity.__getitem__
         self._heap: List[int] = []
         self._index: Dict[int, int] = {}
 

@@ -20,7 +20,7 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.logic.cube import Cube
 from repro.sat.clause import SolverClause
@@ -46,6 +46,15 @@ class SolverStats:
     solve_calls: int = 0
     max_decision_level: int = 0
 
+    # Activation-literal (removable clause) accounting.
+    activation_vars_allocated: int = 0
+    activation_vars_recycled: int = 0
+    activation_vars_retired: int = 0
+    guarded_clauses_added: int = 0
+    guarded_clauses_freed: int = 0
+    learnts_purged: int = 0
+    assumption_levels_reused: int = 0
+
     def as_dict(self) -> Dict[str, int]:
         """Return the statistics as a plain dictionary."""
         return {
@@ -57,6 +66,13 @@ class SolverStats:
             "removed_clauses": self.removed_clauses,
             "solve_calls": self.solve_calls,
             "max_decision_level": self.max_decision_level,
+            "activation_vars_allocated": self.activation_vars_allocated,
+            "activation_vars_recycled": self.activation_vars_recycled,
+            "activation_vars_retired": self.activation_vars_retired,
+            "guarded_clauses_added": self.guarded_clauses_added,
+            "guarded_clauses_freed": self.guarded_clauses_freed,
+            "learnts_purged": self.learnts_purged,
+            "assumption_levels_reused": self.assumption_levels_reused,
         }
 
 
@@ -86,9 +102,10 @@ class Solver:
         self._level: List[int] = [0]
         self._reason: List[Optional[SolverClause]] = [None]
         self._polarity: List[bool] = [False]
+        self._branchable: List[bool] = [True]
         self._activity: List[float] = [0.0]
         self._seen: List[int] = [0]
-        self._watches: List[List[SolverClause]] = [[], []]
+        self._watches: List[List[list]] = [[], []]  # entries: [clause, blocker]
 
         self._clauses: List[SolverClause] = []
         self._learnts: List[SolverClause] = []
@@ -96,7 +113,7 @@ class Solver:
         self._trail_lim: List[int] = []
         self._qhead = 0
 
-        self._order = VarOrderHeap(lambda v: self._activity[v])
+        self._order = VarOrderHeap(self._activity)
         self._var_inc = 1.0
         self._cla_inc = 1.0
         self._max_learnts = 1000.0
@@ -105,6 +122,18 @@ class Solver:
         self._model: Optional[List[int]] = None
         self._conflict_core: Optional[List[int]] = None
         self._assumptions: List[int] = []
+
+        # Activation-literal machinery: each *active* activation variable
+        # guards a group of removable clauses (every clause of the group
+        # contains ``-act``); releasing the group detaches its clauses,
+        # purges the learnt clauses that depend on them, and recycles the
+        # variable for the next group.
+        self._act_groups: Dict[int, List[SolverClause]] = {}
+        self._act_learnts: Dict[int, List[SolverClause]] = {}
+        self._act_free: List[int] = []
+        self._act_retired: Set[int] = set()
+        self._freed_clauses = 0
+        self._pending_detach: List[SolverClause] = []
 
         self.stats = SolverStats()
 
@@ -118,8 +147,12 @@ class Solver:
 
     @property
     def num_clauses(self) -> int:
-        """Number of problem (non-learnt) clauses."""
-        return len(self._clauses)
+        """Number of live problem (non-learnt) clauses.
+
+        Removed clauses are compacted out of the store lazily; the count
+        excludes the deleted-but-uncompacted ones.
+        """
+        return len(self._clauses) - self._freed_clauses
 
     @property
     def num_learnts(self) -> int:
@@ -134,6 +167,7 @@ class Solver:
         self._level.append(0)
         self._reason.append(None)
         self._polarity.append(False)
+        self._branchable.append(True)
         self._activity.append(0.0)
         self._seen.append(0)
         self._watches.append([])
@@ -154,10 +188,24 @@ class Solver:
         Returns False if the solver becomes (or already was) trivially
         unsatisfiable at decision level 0, True otherwise.
         """
+        ok, _ = self._add_clause_internal(literals)
+        return ok
+
+    def _add_clause_internal(
+        self, literals: Iterable[int]
+    ) -> Tuple[bool, Optional[SolverClause]]:
+        """Add a problem clause and return (ok, stored clause handle).
+
+        The handle is None when the clause was simplified away (tautology,
+        already satisfied, or reduced to a unit enqueued at level 0).
+        """
         if self._trail_lim:
-            raise SolverError("add_clause must be called at decision level 0")
+            # Mutating the clause database invalidates the reusable
+            # assumption trail kept between solve calls; flush it.
+            self._cancel_until(0)
+        self._drain_pending_detach()
         if not self._ok:
-            return False
+            return False, None
 
         lits = sorted({int(l) for l in literals}, key=abs)
         if any(l == 0 for l in lits):
@@ -170,26 +218,26 @@ class Solver:
         lit_set = set(lits)
         for lit in lits:
             if -lit in lit_set:
-                return True  # tautology, trivially satisfied
+                return True, None  # tautology, trivially satisfied
             value = self._lit_value(lit)
             if value == _TRUE:
-                return True  # already satisfied at level 0
+                return True, None  # already satisfied at level 0
             if value == _FALSE:
                 continue
             simplified.append(lit)
 
         if not simplified:
             self._ok = False
-            return False
+            return False, None
         if len(simplified) == 1:
             self._unchecked_enqueue(simplified[0], None)
             self._ok = self._propagate() is None
-            return self._ok
+            return self._ok, None
 
         clause = SolverClause(simplified, learnt=False)
         self._clauses.append(clause)
         self._attach(clause)
-        return True
+        return True, clause
 
     def add_cube_as_units(self, cube: Cube) -> bool:
         """Add each literal of a cube as a unit clause."""
@@ -197,6 +245,204 @@ class Solver:
             if not self.add_clause([lit]):
                 return False
         return True
+
+    # ------------------------------------------------------------------
+    # Removable clauses guarded by activation literals
+    # ------------------------------------------------------------------
+    def new_activation(self) -> int:
+        """Allocate an activation variable guarding a group of clauses.
+
+        Clauses added with :meth:`add_guarded` are only active while the
+        returned variable is assumed true; :meth:`release` removes the
+        whole group and recycles the variable.  Recycling is sound because
+        (a) activation variables only ever occur negatively in clauses, so
+        every learnt clause that depends on a guarded clause contains the
+        negated activation literal (conflict-clause minimisation is
+        act-aware, see :meth:`_literal_redundant`), and (b) those learnts
+        are purged on release.
+        """
+        if self._act_free:
+            act = self._act_free.pop()
+            self.stats.activation_vars_recycled += 1
+        else:
+            act = self.new_var()
+            self.stats.activation_vars_allocated += 1
+            # Activation variables keep a fixed false default phase: a
+            # VSIDS decision on one then *deactivates* its clause group
+            # (nearly free) instead of replaying a dormant frame's lemmas.
+            self._branchable[act] = False
+        if self._assigns[act] != _UNDEF and self._trail_lim:
+            # A recycled variable may carry a stale search decision from
+            # the reusable trail; flush before handing it out again.
+            self._cancel_until(0)
+        self._act_groups[act] = []
+        self._act_learnts[act] = []
+        return act
+
+    def add_guarded(
+        self, act: int, literals: Iterable[int]
+    ) -> Tuple[bool, Optional[SolverClause]]:
+        """Add ``(-act OR literals)`` to the group guarded by ``act``.
+
+        Returns ``(ok, handle)``; the handle identifies the stored clause
+        for a later :meth:`remove_guarded` (None when the clause was
+        simplified away).
+        """
+        group = self._act_groups.get(act)
+        if group is None:
+            raise SolverError(f"{act} is not an active activation variable")
+        if self._trail_lim:
+            # Try to attach without flushing the reusable trail: exact as
+            # long as the clause has two non-false literals to watch.
+            attached, clause = self._attach_live([-act] + [int(l) for l in literals])
+            if attached:
+                if clause is not None:
+                    group.append(clause)
+                self.stats.guarded_clauses_added += 1
+                return True, clause
+        ok, clause = self._add_clause_internal([-act] + [int(l) for l in literals])
+        if clause is not None:
+            group.append(clause)
+        self.stats.guarded_clauses_added += 1
+        return ok, clause
+
+    def _attach_live(
+        self, literals: Iterable[int]
+    ) -> Tuple[bool, Optional[SolverClause]]:
+        """Attach a clause mid-search without cancelling the trail.
+
+        Only level-0 assignments are used for simplification; the clause
+        is stored watching two literals that are currently non-false, so
+        every watch invariant holds on the live trail.  Returns
+        ``(False, None)`` when the clause is unit or conflicting under
+        the current assignment — the caller must then fall back to the
+        flushing path.
+        """
+        lits = sorted({int(l) for l in literals}, key=abs)
+        if any(l == 0 for l in lits):
+            raise SolverError("0 is not a valid literal")
+        for lit in lits:
+            self.ensure_var(abs(lit))
+        lit_set = set(lits)
+        simplified: List[int] = []
+        for lit in lits:
+            if -lit in lit_set:
+                return True, None  # tautology
+            var = abs(lit)
+            if self._assigns[var] != _UNDEF and self._level[var] == 0:
+                value = self._assigns[var] if lit > 0 else -self._assigns[var]
+                if value == _TRUE:
+                    return True, None  # satisfied at level 0
+                continue  # false at level 0: drop
+            simplified.append(lit)
+        if len(simplified) < 2:
+            return False, None
+        non_false = [lit for lit in simplified if self._lit_value(lit) != _FALSE]
+        if len(non_false) < 2:
+            return False, None
+        watch_a, watch_b = non_false[0], non_false[1]
+        rest = [l for l in simplified if l != watch_a and l != watch_b]
+        clause = SolverClause([watch_a, watch_b] + rest, learnt=False)
+        self._clauses.append(clause)
+        self._attach(clause)
+        return True, clause
+
+    def remove_guarded(self, act: int, clause: SolverClause) -> None:
+        """Remove one clause from an activation group.
+
+        The caller must guarantee that the clause is *implied* by the
+        remaining database (e.g. it is subsumed by another clause, or
+        follows from it through frame-implication chains): learnt clauses
+        derived from it stay attached and must remain sound.
+        """
+        group = self._act_groups.get(act)
+        if group is None:
+            raise SolverError(f"{act} is not an active activation variable")
+        if clause.deleted:
+            return
+        try:
+            group.remove(clause)
+        except ValueError:
+            raise SolverError("clause does not belong to the given activation group")
+        if self._trail_lim:
+            # The clause may be a reason on the live trail; since it is
+            # implied by the remaining database, leaving it attached until
+            # the next natural level-0 moment is sound and avoids flushing
+            # the reusable trail.
+            self._pending_detach.append(clause)
+            return
+        self._detach_removed(clause)
+
+    def _detach_removed(self, clause: SolverClause) -> None:
+        if clause.deleted:
+            return
+        self._detach(clause)
+        clause.deleted = True
+        self._freed_clauses += 1
+        self.stats.guarded_clauses_freed += 1
+        if self._freed_clauses >= 64 and self._freed_clauses * 2 >= len(self._clauses):
+            self._clauses = [c for c in self._clauses if not c.deleted]
+            self._freed_clauses = 0
+
+    def _drain_pending_detach(self) -> None:
+        """Physically detach clauses removed while the trail was live."""
+        if self._pending_detach and not self._trail_lim:
+            for clause in self._pending_detach:
+                self._detach_removed(clause)
+            self._pending_detach.clear()
+
+    def release(self, act: int) -> None:
+        """Remove the clause group of ``act`` and recycle the variable.
+
+        Detaches the guarded clauses, deletes every learnt clause whose
+        derivation could depend on them (all mention ``-act``), and either
+        returns the variable to the free list or — when unit propagation
+        fixed it at level 0 — retires it permanently.
+        """
+        if self._trail_lim:
+            # Clauses above level 0 may act as reasons on the reusable
+            # trail; flush it before detaching anything.
+            self._cancel_until(0)
+        self._drain_pending_detach()
+        group = self._act_groups.pop(act, None)
+        if group is None:
+            raise SolverError(f"{act} is not an active activation variable")
+        for clause in group:
+            self._detach_removed(clause)
+
+        dependent = self._act_learnts.pop(act)
+        purged = 0
+        for clause in dependent:
+            if clause.deleted:
+                continue
+            self._detach(clause)
+            clause.deleted = True
+            purged += 1
+        if purged:
+            self._learnts = [c for c in self._learnts if not c.deleted]
+            self.stats.learnts_purged += purged
+
+        if self._assigns[act] != _UNDEF:
+            # Propagation fixed the variable at level 0 (always to false);
+            # the assignment outlives the group, so never reuse the var.
+            self._act_retired.add(act)
+            self.stats.activation_vars_retired += 1
+        else:
+            self._act_free.append(act)
+
+    def is_activation(self, var: int) -> bool:
+        """True if ``var`` currently guards a removable clause group."""
+        return var in self._act_groups
+
+    @property
+    def num_active_activations(self) -> int:
+        """Number of live activation groups."""
+        return len(self._act_groups)
+
+    @property
+    def num_retired_activations(self) -> int:
+        """Activation variables permanently lost to level-0 assignments."""
+        return len(self._act_retired)
 
     # ------------------------------------------------------------------
     # Solving
@@ -227,19 +473,41 @@ class Solver:
         self.stats.solve_calls += 1
         self._model = None
         self._conflict_core = None
-        self._cancel_until(0)
         if not self._ok:
+            self._cancel_until(0)
             self._conflict_core = []
             return False
 
-        self._assumptions = [int(l) for l in assumptions]
-        for lit in self._assumptions:
+        new_assumptions = [int(l) for l in assumptions]
+        for lit in new_assumptions:
             if lit == 0:
                 raise SolverError("0 is not a valid assumption literal")
             self.ensure_var(abs(lit))
 
+        # Assumption-trail reuse: the trail is kept alive between solve
+        # calls (any clause addition or release flushes it), so when the
+        # new assumption list shares a prefix with the previous one, the
+        # decision levels of that prefix — and all the unit propagation
+        # they triggered — are reused instead of being replayed.  Kept
+        # levels only ever contain assumption decisions and their
+        # propagation consequences: search decisions live above
+        # ``len(previous assumptions)`` and the reused prefix is capped
+        # below that, so everything kept is implied by the (new)
+        # assumption prefix together with the clause database.
+        limit = min(
+            len(new_assumptions), len(self._assumptions), self._decision_level()
+        )
+        keep = 0
+        while keep < limit and new_assumptions[keep] == self._assumptions[keep]:
+            keep += 1
+        self._cancel_until(keep)
+        self.stats.assumption_levels_reused += keep
+        self._drain_pending_detach()
+        self._assumptions = new_assumptions
+
         self._max_learnts = max(
-            1000.0, len(self._clauses) * self._max_learnt_factor
+            1000.0,
+            (len(self._clauses) - self._freed_clauses) * self._max_learnt_factor,
         )
         budget_left = conflict_budget
         restart_round = 0
@@ -258,7 +526,8 @@ class Solver:
             restart_round += 1
             self._max_learnts *= self._learnt_growth
 
-        self._cancel_until(0)
+        if status is None:
+            self._cancel_until(0)
         return status
 
     def get_model(self) -> Dict[int, bool]:
@@ -318,18 +587,22 @@ class Solver:
         return len(self._trail_lim)
 
     def _attach(self, clause: SolverClause) -> None:
+        # Watcher entries are [clause, blocker]: the blocker caches the
+        # other watched literal so propagation can skip satisfied clauses
+        # with a single value check (MiniSat 2.2's blocking literal).
         lits = clause.lits
-        self._watches[self._lit_index(lits[0])].append(clause)
-        self._watches[self._lit_index(lits[1])].append(clause)
+        self._watches[self._lit_index(lits[0])].append([clause, lits[1]])
+        self._watches[self._lit_index(lits[1])].append([clause, lits[0]])
 
     def _detach(self, clause: SolverClause) -> None:
         lits = clause.lits
         for lit in (lits[0], lits[1]):
             watch_list = self._watches[self._lit_index(lit)]
-            try:
-                watch_list.remove(clause)
-            except ValueError:
-                pass
+            for i, entry in enumerate(watch_list):
+                if entry[0] is clause:
+                    watch_list[i] = watch_list[-1]
+                    watch_list.pop()
+                    break
 
     def _new_decision_level(self) -> None:
         self._trail_lim.append(len(self._trail))
@@ -348,56 +621,99 @@ class Solver:
         if self._decision_level() <= level:
             return
         boundary = self._trail_lim[level]
+        branchable = self._branchable
+        assigns = self._assigns
+        reason = self._reason
+        order_insert = self._order.insert
         for i in range(len(self._trail) - 1, boundary - 1, -1):
             lit = self._trail[i]
-            var = abs(lit)
-            self._polarity[var] = lit > 0
-            self._assigns[var] = _UNDEF
-            self._reason[var] = None
-            self._order.insert(var)
+            var = lit if lit > 0 else -lit
+            if branchable[var]:
+                # Activation variables keep their fixed false phase and
+                # never (re-)enter the decision heap: deciding one could
+                # only deactivate its clause group, and excluding them
+                # keeps the heap from churning on assumption variables.
+                self._polarity[var] = lit > 0
+                order_insert(var)
+            assigns[var] = _UNDEF
+            reason[var] = None
         del self._trail[boundary:]
         del self._trail_lim[level:]
         self._qhead = len(self._trail)
 
     def _propagate(self) -> Optional[SolverClause]:
-        """Unit propagation; returns a conflicting clause or None."""
-        while self._qhead < len(self._trail):
-            p = self._trail[self._qhead]
+        """Unit propagation; returns a conflicting clause or None.
+
+        The hot loop avoids method-call overhead by working on local
+        aliases and computing literal values inline.  Replacement watches
+        are searched from the *end* of the clause: activation literals
+        sort last, so a dormant guarded clause parks its watch on its
+        activation literal after a single visit instead of hopping
+        between problem literals on every query.
+        """
+        trail = self._trail
+        watches = self._watches
+        assigns = self._assigns
+        while self._qhead < len(trail):
+            p = trail[self._qhead]
             self._qhead += 1
             self.stats.propagations += 1
             neg_p = -p
-            watch_list = self._watches[self._lit_index(neg_p)]
-            keep: List[SolverClause] = []
+            if neg_p > 0:
+                watch_index = neg_p << 1
+            else:
+                watch_index = (-neg_p << 1) | 1
+            watch_list = watches[watch_index]
             conflict: Optional[SolverClause] = None
-            for idx, clause in enumerate(watch_list):
+            write = 0
+            read = 0
+            size = len(watch_list)
+            while read < size:
+                entry = watch_list[read]
+                read += 1
                 if conflict is not None:
-                    keep.append(clause)
+                    watch_list[write] = entry
+                    write += 1
                     continue
+                blocker = entry[1]
+                if (assigns[blocker] if blocker > 0 else -assigns[-blocker]) == _TRUE:
+                    watch_list[write] = entry
+                    write += 1
+                    continue
+                clause = entry[0]
                 lits = clause.lits
                 if lits[0] == neg_p:
                     lits[0], lits[1] = lits[1], lits[0]
                 first = lits[0]
-                if self._lit_value(first) == _TRUE:
-                    keep.append(clause)
+                entry[1] = first
+                value = assigns[first] if first > 0 else -assigns[-first]
+                if value == _TRUE:
+                    watch_list[write] = entry
+                    write += 1
                     continue
                 moved = False
-                for k in range(2, len(lits)):
-                    if self._lit_value(lits[k]) != _FALSE:
+                for k in range(len(lits) - 1, 1, -1):
+                    lit = lits[k]
+                    if (assigns[lit] if lit > 0 else -assigns[-lit]) != _FALSE:
                         lits[1], lits[k] = lits[k], lits[1]
-                        self._watches[self._lit_index(lits[1])].append(clause)
+                        if lit > 0:
+                            watches[lit << 1].append([clause, first])
+                        else:
+                            watches[(-lit << 1) | 1].append([clause, first])
                         moved = True
                         break
                 if moved:
                     continue
-                keep.append(clause)
-                if self._lit_value(first) == _FALSE:
+                watch_list[write] = entry
+                write += 1
+                if value == _FALSE:
                     conflict = clause
                 else:
                     self._unchecked_enqueue(first, clause)
-            if len(keep) != len(watch_list):
-                self._watches[self._lit_index(neg_p)] = keep
+            if write != size:
+                del watch_list[write:]
             if conflict is not None:
-                self._qhead = len(self._trail)
+                self._qhead = len(trail)
                 return conflict
         return None
 
@@ -407,7 +723,8 @@ class Solver:
             for v in range(1, self._num_vars + 1):
                 self._activity[v] *= 1e-100
             self._var_inc *= 1e-100
-        self._order.update(var)
+        if self._branchable[var]:
+            self._order.update(var)
 
     def _decay_var_activity(self) -> None:
         self._var_inc /= self._var_decay
@@ -422,7 +739,7 @@ class Solver:
     def _decay_clause_activity(self) -> None:
         self._cla_inc /= self._clause_decay
 
-    def _analyze(self, conflict: SolverClause) -> (List[int], int):
+    def _analyze(self, conflict: SolverClause) -> Tuple[List[int], int]:
         """First-UIP conflict analysis; returns (learnt clause, backtrack level)."""
         learnt: List[int] = [0]  # position 0 reserved for the asserting literal
         seen = self._seen
@@ -482,6 +799,11 @@ class Solver:
 
     def _literal_redundant(self, lit: int) -> bool:
         """Local minimisation: is ``lit`` implied by the other learnt literals?"""
+        if abs(lit) in self._act_groups:
+            # Never drop an activation literal: it records that the learnt
+            # clause depends on a removable clause group, which is what
+            # makes releasing and recycling the group sound.
+            return False
         reason = self._reason[abs(lit)]
         if reason is None:
             return False
@@ -536,6 +858,13 @@ class Solver:
         self._attach(clause)
         self._bump_clause(clause)
         self.stats.learnt_clauses += 1
+        if self._act_groups:
+            # Index the learnt under every activation group it depends on
+            # so that releasing a group can purge it in O(dependents).
+            for lit in learnt:
+                dependents = self._act_learnts.get(abs(lit))
+                if dependents is not None:
+                    dependents.append(clause)
         self._unchecked_enqueue(learnt[0], clause)
 
     def _reduce_db(self) -> None:
@@ -552,11 +881,16 @@ class Solver:
             else:
                 keep.append(clause)
         self._learnts = keep
+        # Keep the per-activation learnt indexes from accumulating stale
+        # entries for deleted clauses.
+        for act, dependents in self._act_learnts.items():
+            if len(dependents) > 32:
+                self._act_learnts[act] = [c for c in dependents if not c.deleted]
 
     def _pick_branch_literal(self) -> Optional[int]:
         while not self._order.is_empty():
             var = self._order.pop_max()
-            if self._assigns[var] == _UNDEF:
+            if self._assigns[var] == _UNDEF and self._branchable[var]:
                 return var if self._polarity[var] else -var
         return None
 

@@ -6,6 +6,15 @@ connection clauses directly into a SAT solver.  ``lit_at(aig_lit, frame)``
 returns the solver literal that represents an AIG literal at a given time
 frame, so callers can constrain inputs, assert bad cones, or read back
 concrete traces from a model.
+
+The unrolling is strictly monotone: frames are only ever appended, never
+re-encoded, so one persistent unroller serves a whole BMC or k-induction
+run.  With ``init_as_assumption=True`` the initial-state constraint is
+guarded by an activation literal instead of being asserted as unit
+clauses: a single unrolling then answers *both* initialised queries (BMC
+and k-induction base cases, by assuming :meth:`init_assumptions`) and
+uninitialised ones (the k-induction step case), sharing all frame clauses
+and learnt clauses between them.
 """
 
 from __future__ import annotations
@@ -20,14 +29,39 @@ from repro.sat.solver import Solver
 class Unroller:
     """Incrementally unrolls an AIG into a SAT solver."""
 
-    def __init__(self, aig: AIG, solver: Optional[Solver] = None, use_init: bool = True):
+    def __init__(
+        self,
+        aig: AIG,
+        solver: Optional[Solver] = None,
+        use_init: bool = True,
+        init_as_assumption: bool = False,
+    ):
         aig.validate()
         self.aig = aig
         self.solver = solver if solver is not None else Solver()
         self.use_init = use_init
+        self.init_as_assumption = init_as_assumption
+        # Allocated lazily after frame 0's variables so that the frame-0
+        # variable numbering matches the TransitionSystem encoding (the
+        # trace validators rely on that correspondence).
+        self._init_act: Optional[int] = None
         self._frames: List[Dict[int, int]] = []  # frame -> {aig_var -> solver var}
         self._const_true = self.solver.new_var()
         self.solver.add_clause([self._const_true])
+
+    def init_assumptions(self) -> List[int]:
+        """Assumption literals that anchor frame 0 at the initial states.
+
+        Empty unless ``init_as_assumption`` was requested (with plain
+        ``use_init`` the anchoring is hard-coded as unit clauses).
+        """
+        if self.use_init and self.init_as_assumption and self.num_frames == 0:
+            # Build frame 0 now so the guard variable exists even when
+            # this is the first call on a fresh unroller.
+            self.lit_at(TRUE_LIT, 0)
+        if self._init_act is None:
+            return []
+        return [self._init_act]
 
     @property
     def num_frames(self) -> int:
@@ -97,11 +131,17 @@ class Unroller:
 
         if frame_index == 0:
             if self.use_init:
+                if self.init_as_assumption and self._init_act is None:
+                    self._init_act = self.solver.new_activation()
                 for latch in self.aig.latches:
                     if latch.init is None:
                         continue
                     lit = self.lit_at(latch.lit, 0)
-                    self.solver.add_clause([lit if latch.init == 1 else -lit])
+                    clause = [lit if latch.init == 1 else -lit]
+                    if self._init_act is not None:
+                        self.solver.add_guarded(self._init_act, clause)
+                    else:
+                        self.solver.add_clause(clause)
         else:
             # Latch at frame k equals its next-state function at frame k-1.
             for latch in self.aig.latches:

@@ -1,39 +1,56 @@
-"""Tests for frame management and the IC3 SAT queries."""
+"""Tests for frame management and the IC3 SAT queries.
+
+Every test in this module runs against both frame-management substrates
+(the monolithic single-solver manager and the per-frame baseline) via the
+``backend`` fixture; backend-specific behaviour has its own classes at
+the bottom.
+"""
 
 import pytest
 
 from repro.benchgen import token_ring, modular_counter
-from repro.core.frames import FrameManager
+from repro.core.frames import (
+    FrameManager,
+    MonolithicFrameManager,
+    PerFrameFrameManager,
+    available_frame_backends,
+    make_frame_manager,
+)
 from repro.core.options import IC3Options
 from repro.core.stats import IC3Stats
 from repro.logic import Cube
 from repro.ts import TransitionSystem
 
 
-def _manager(case=None, **option_kwargs):
+@pytest.fixture(params=["monolithic", "per-frame"])
+def backend(request):
+    return request.param
+
+
+def _manager(case=None, backend="monolithic", **option_kwargs):
     case = case if case is not None else token_ring(3)
     ts = TransitionSystem(case.aig)
-    options = IC3Options(**option_kwargs)
+    options = IC3Options(frame_backend=backend, **option_kwargs)
     stats = IC3Stats()
     manager = FrameManager(ts, options, stats)
     return manager, ts, stats
 
 
 class TestFrameBookkeeping:
-    def test_initial_state(self):
-        manager, _, _ = _manager()
+    def test_initial_state(self, backend):
+        manager, _, _ = _manager(backend=backend)
         assert manager.top_level == 0
         assert manager.lemma_counts() == [0]
 
-    def test_add_frame(self):
-        manager, _, stats = _manager()
+    def test_add_frame(self, backend):
+        manager, _, stats = _manager(backend=backend)
         assert manager.add_frame() == 1
         assert manager.add_frame() == 2
         assert manager.top_level == 2
         assert stats.frames_opened == 2
 
-    def test_add_blocked_cube_levels(self):
-        manager, ts, stats = _manager()
+    def test_add_blocked_cube_levels(self, backend):
+        manager, ts, stats = _manager(backend=backend)
         manager.add_frame()
         manager.add_frame()
         cube = Cube([ts.latch_vars[0], ts.latch_vars[1]])
@@ -43,13 +60,13 @@ class TestFrameBookkeeping:
         assert manager.lemmas_at_or_above(1) == [cube]
         assert stats.lemmas_added == 1
 
-    def test_add_blocked_cube_invalid_level(self):
-        manager, ts, _ = _manager()
+    def test_add_blocked_cube_invalid_level(self, backend):
+        manager, ts, _ = _manager(backend=backend)
         with pytest.raises(ValueError):
             manager.add_blocked_cube(Cube([ts.latch_vars[0]]), 1)
 
-    def test_subsumption_removes_weaker_lemmas(self):
-        manager, ts, stats = _manager()
+    def test_subsumption_removes_weaker_lemmas(self, backend):
+        manager, ts, stats = _manager(backend=backend)
         manager.add_frame()
         weak = Cube([ts.latch_vars[0], ts.latch_vars[1], ts.latch_vars[2]])
         strong = Cube([ts.latch_vars[0]])
@@ -58,8 +75,8 @@ class TestFrameBookkeeping:
         assert manager.lemmas_exactly_at(1) == [strong]
         assert stats.subsumed_lemmas == 1
 
-    def test_subsumption_only_below_new_level(self):
-        manager, ts, _ = _manager()
+    def test_subsumption_only_below_new_level(self, backend):
+        manager, ts, _ = _manager(backend=backend)
         manager.add_frame()
         manager.add_frame()
         weak = Cube([ts.latch_vars[0], ts.latch_vars[1]])
@@ -69,8 +86,8 @@ class TestFrameBookkeeping:
         # The weak lemma lives at level 2 > 1, so it must survive.
         assert weak in manager.lemmas_exactly_at(2)
 
-    def test_promote_cube(self):
-        manager, ts, stats = _manager()
+    def test_promote_cube(self, backend):
+        manager, ts, stats = _manager(backend=backend)
         manager.add_frame()
         manager.add_frame()
         cube = Cube([ts.latch_vars[1]])
@@ -80,8 +97,8 @@ class TestFrameBookkeeping:
         assert manager.lemmas_exactly_at(2) == [cube]
         assert stats.lemmas_pushed == 1
 
-    def test_is_blocked_syntactically(self):
-        manager, ts, _ = _manager()
+    def test_is_blocked_syntactically(self, backend):
+        manager, ts, _ = _manager(backend=backend)
         manager.add_frame()
         manager.add_frame()
         lemma = Cube([ts.latch_vars[1]])
@@ -91,15 +108,15 @@ class TestFrameBookkeeping:
         assert manager.is_blocked_syntactically(bigger, 2)
         assert not manager.is_blocked_syntactically(Cube([ts.latch_vars[2]]), 1)
 
-    def test_frames_equal_detection(self):
-        manager, ts, _ = _manager()
+    def test_frames_equal_detection(self, backend):
+        manager, ts, _ = _manager(backend=backend)
         manager.add_frame()
         assert manager.frames_equal(1)  # nothing stored at level 1 yet
         manager.add_blocked_cube(Cube([ts.latch_vars[1]]), 1)
         assert not manager.frames_equal(1)
 
-    def test_frame_clauses_are_negations(self):
-        manager, ts, _ = _manager()
+    def test_frame_clauses_are_negations(self, backend):
+        manager, ts, _ = _manager(backend=backend)
         manager.add_frame()
         cube = Cube([ts.latch_vars[1], -ts.latch_vars[2]])
         manager.add_blocked_cube(cube, 1)
@@ -108,23 +125,23 @@ class TestFrameBookkeeping:
 
 
 class TestQueries:
-    def test_get_bad_state_level0_for_safe_design(self):
-        manager, _, _ = _manager(token_ring(3))
+    def test_get_bad_state_level0_for_safe_design(self, backend):
+        manager, _, _ = _manager(token_ring(3), backend=backend)
         assert manager.get_bad_state(0) is None
 
-    def test_get_bad_state_finds_violation(self):
+    def test_get_bad_state_finds_violation(self, backend):
         # bad value 0 is the initial state itself.
         case = modular_counter(3, modulus=8, bad_value=0)
-        manager, ts, _ = _manager(case)
+        manager, ts, _ = _manager(case, backend=backend)
         bad = manager.get_bad_state(0)
         assert bad is not None
         assert ts.cube_intersects_init(bad.state)
 
-    def test_consecution_holds_for_unreachable_cube(self):
+    def test_consecution_holds_for_unreachable_cube(self, backend):
         # In the token ring, "two tokens at once" is unreachable and its
         # negation is inductive relative to the one-token initial frame.
         case = token_ring(3)
-        manager, ts, _ = _manager(case)
+        manager, ts, _ = _manager(case, backend=backend)
         manager.add_frame()
         two_tokens = Cube([ts.latch_vars[0], ts.latch_vars[1]])
         result = manager.consecution(0, two_tokens)
@@ -132,10 +149,10 @@ class TestQueries:
         assert result.core_cube is not None
         assert result.core_cube.literal_set <= two_tokens.literal_set
 
-    def test_consecution_fails_with_counterexample(self):
+    def test_consecution_fails_with_counterexample(self, backend):
         # "token in stage 1" is reachable from the initial state in one step.
         case = token_ring(3)
-        manager, ts, _ = _manager(case)
+        manager, ts, _ = _manager(case, backend=backend)
         manager.add_frame()
         reachable = Cube([ts.latch_vars[1]])
         result = manager.consecution(0, reachable)
@@ -147,9 +164,9 @@ class TestQueries:
         # The predecessor is an initial state (frame 0 = I).
         assert ts.cube_intersects_init(result.predecessor)
 
-    def test_consecution_uses_frame_lemmas(self):
+    def test_consecution_uses_frame_lemmas(self, backend):
         case = token_ring(3)
-        manager, ts, _ = _manager(case)
+        manager, ts, _ = _manager(case, backend=backend)
         manager.add_frame()
         target = Cube([ts.latch_vars[1], -ts.latch_vars[0], -ts.latch_vars[2]])
         # Without extra lemmas the cube is reachable from F_1 = ⊤ ...
@@ -158,17 +175,17 @@ class TestQueries:
         manager.add_blocked_cube(Cube([ts.latch_vars[0]]), 1)
         assert manager.consecution(1, target).holds
 
-    def test_counters_track_sat_calls(self):
-        manager, ts, stats = _manager(token_ring(3))
+    def test_counters_track_sat_calls(self, backend):
+        manager, ts, stats = _manager(token_ring(3), backend=backend)
         manager.add_frame()
         manager.consecution(0, Cube([ts.latch_vars[1]]))
         manager.get_bad_state(0)
         assert stats.sat_calls == 2
         assert stats.consecution_calls == 1
 
-    def test_lift_predecessor_returns_subcube(self):
+    def test_lift_predecessor_returns_subcube(self, backend):
         case = token_ring(4)
-        manager, ts, _ = _manager(case)
+        manager, ts, _ = _manager(case, backend=backend)
         manager.add_frame()
         result = manager.consecution(0, Cube([ts.latch_vars[1]]))
         assert not result.holds
@@ -178,17 +195,179 @@ class TestQueries:
         assert lifted.literal_set <= result.predecessor.literal_set
         assert len(lifted) >= 1
 
-    def test_solver_rebuild_preserves_answers(self):
+    def test_solver_rebuild_preserves_answers(self, backend):
         case = token_ring(3)
-        manager, ts, _ = _manager(case, solver_rebuild_interval=2)
+        manager, ts, _ = _manager(case, backend=backend, solver_rebuild_interval=2)
         manager.add_frame()
         cube = Cube([ts.latch_vars[0], ts.latch_vars[1]])
         results = [manager.consecution(0, cube).holds for _ in range(8)]
         assert all(results)
 
-    def test_total_lemmas(self):
-        manager, ts, _ = _manager()
+    def test_total_lemmas(self, backend):
+        manager, ts, _ = _manager(backend=backend)
         manager.add_frame()
         manager.add_blocked_cube(Cube([ts.latch_vars[1]]), 1)
         manager.add_blocked_cube(Cube([ts.latch_vars[2]]), 1)
         assert manager.total_lemmas() == 2
+
+
+class TestBackendSelection:
+    def test_available_backends(self):
+        assert available_frame_backends() == ["monolithic", "per-frame"]
+
+    def test_factory_dispatches_on_options(self):
+        ts = TransitionSystem(token_ring(3).aig)
+        mono = make_frame_manager(ts, IC3Options(), IC3Stats())
+        assert isinstance(mono, MonolithicFrameManager)
+        per_frame = make_frame_manager(
+            ts, IC3Options(frame_backend="per-frame"), IC3Stats()
+        )
+        assert isinstance(per_frame, PerFrameFrameManager)
+
+    def test_unknown_backend_rejected_by_options(self):
+        with pytest.raises(ValueError, match="frame_backend"):
+            IC3Options(frame_backend="nonsense").validate()
+
+
+class TestMonolithicSubstrate:
+    def test_lemma_added_once_and_shared(self):
+        manager, ts, stats = _manager(backend="monolithic")
+        for _ in range(3):
+            manager.add_frame()
+        cube = Cube([ts.latch_vars[0], ts.latch_vars[1]])
+        manager.add_blocked_cube(cube, 3)
+        # One physical clause serves logical frames 1..3.
+        assert stats.lemma_clauses_added == 1
+        assert stats.solver_clauses_shared == 2
+        assert stats.solver_clauses_duplicated == 0
+
+    def test_promotion_moves_single_clause(self):
+        manager, ts, stats = _manager(backend="monolithic")
+        manager.add_frame()
+        manager.add_frame()
+        cube = Cube([ts.latch_vars[1]])
+        manager.add_blocked_cube(cube, 1)
+        manager.promote_cube(cube, 1, 2)
+        # The move is deferred until a query needs it, then the old copy
+        # is deleted: net one live clause.
+        manager.consecution(2, Cube([ts.latch_vars[0]]))
+        assert stats.lemma_clauses_added == 2
+        assert stats.lemma_clauses_removed == 1
+
+    def test_subsumed_lemma_clause_physically_removed(self):
+        manager, ts, stats = _manager(backend="monolithic")
+        manager.add_frame()
+        weak = Cube([ts.latch_vars[0], ts.latch_vars[1]])
+        strong = Cube([ts.latch_vars[0]])
+        manager.add_blocked_cube(weak, 1)
+        manager.add_blocked_cube(strong, 1)
+        assert stats.subsumed_lemmas == 1
+        assert stats.lemma_clauses_removed == 1
+
+    def test_duplicate_cube_below_higher_copy_shares_one_clause(self):
+        # CTG blocking can re-add a cube at a level below an existing
+        # higher-level copy; the higher clause already covers the lower
+        # placement through the assumption suffix, so no copy is added
+        # and subsuming one list entry must not delete the shared clause.
+        manager, ts, stats = _manager(token_ring(4), backend="monolithic")
+        for _ in range(5):
+            manager.add_frame()
+        x = Cube([ts.latch_vars[0], ts.latch_vars[1]])
+        manager.add_blocked_cube(x, 5)
+        manager.add_blocked_cube(x, 2)
+        assert stats.lemma_clauses_added == 1
+        manager.add_blocked_cube(Cube([ts.latch_vars[0]]), 2)  # subsumes @2 only
+        assert stats.lemma_clauses_removed == 0
+        # The level-5 placement still blocks the cube for level-4 queries.
+        assert manager.consecution(4, x) is not None
+
+    def test_finalize_stats_reports_activation_accounting(self):
+        manager, ts, stats = _manager(token_ring(4), backend="monolithic")
+        manager.add_frame()
+        result = manager.consecution(0, Cube([ts.latch_vars[1]]))
+        assert not result.holds
+        manager.lift_predecessor(
+            result.predecessor, result.inputs, Cube([ts.latch_vars[1]])
+        )
+        manager.finalize_stats()
+        assert stats.activation_vars_allocated >= 1
+
+    def test_monolithic_honours_sat_backend_option(self):
+        from repro.sat import register_sat_backend, unregister_sat_backend
+        from repro.sat.solver import Solver
+
+        instances = []
+
+        class Tagged(Solver):
+            def __init__(self):
+                super().__init__()
+                instances.append(self)
+
+        register_sat_backend("frames-test", Tagged)
+        try:
+            manager, _, _ = _manager(
+                backend="monolithic", sat_backend="frames-test"
+            )
+            assert len(instances) >= 2  # main + init (+ lift) contexts
+        finally:
+            unregister_sat_backend("frames-test")
+
+
+class TestPerFrameSubstrate:
+    def test_subsumed_lemmas_count_toward_garbage(self):
+        # Satellite of ISSUE 4: dropped-but-live clauses feed the
+        # rebuild heuristic instead of leaking silently.
+        manager, ts, stats = _manager(backend="per-frame")
+        manager.add_frame()
+        manager.add_frame()
+        weak = Cube([ts.latch_vars[0], ts.latch_vars[1]])
+        strong = Cube([ts.latch_vars[0]])
+        manager.add_blocked_cube(weak, 2)  # copies in solvers 1 and 2
+        manager.add_blocked_cube(strong, 2)
+        assert stats.subsumed_lemmas == 1
+        assert stats.solver_garbage_lemmas == 2
+        assert manager._garbage[1] == 1 and manager._garbage[2] == 1
+
+    def test_subsumption_garbage_triggers_rebuild(self):
+        manager, ts, stats = _manager(backend="per-frame", solver_rebuild_interval=2)
+        manager.add_frame()
+        weak_a = Cube([ts.latch_vars[0], ts.latch_vars[1]])
+        weak_b = Cube([ts.latch_vars[0], ts.latch_vars[2]])
+        strong = Cube([ts.latch_vars[0]])
+        manager.add_blocked_cube(weak_a, 1)
+        manager.add_blocked_cube(weak_b, 1)
+        manager.add_blocked_cube(strong, 1)
+        assert stats.solver_garbage_lemmas == 2
+        # The garbage counter is at the threshold; the next consecution
+        # note pushes it over and rebuilds.
+        manager.consecution(1, Cube([ts.latch_vars[1], ts.latch_vars[2]]))
+        assert stats.solver_rebuilds >= 1
+
+    def test_lemma_clause_duplication_counted(self):
+        manager, ts, stats = _manager(backend="per-frame")
+        for _ in range(3):
+            manager.add_frame()
+        cube = Cube([ts.latch_vars[0], ts.latch_vars[1]])
+        manager.add_blocked_cube(cube, 3)
+        assert stats.lemma_clauses_added == 3  # one copy per covered frame
+        assert stats.solver_clauses_duplicated == 2
+
+
+class TestBackendEquivalence:
+    def test_same_query_answers_on_lemma_workload(self):
+        results = {}
+        for name in ("monolithic", "per-frame"):
+            manager, ts, _ = _manager(token_ring(4), backend=name)
+            manager.add_frame()
+            manager.add_frame()
+            latches = ts.latch_vars
+            answers = []
+            manager.add_blocked_cube(Cube([latches[0], latches[1]]), 1)
+            manager.add_blocked_cube(Cube([latches[1], latches[2]]), 2)
+            for level in (0, 1, 2):
+                for i in range(len(latches)):
+                    cube = Cube([latches[i], latches[(i + 1) % len(latches)]])
+                    answers.append(manager.consecution(level, cube).holds)
+                answers.append(manager.get_bad_state(level) is None)
+            results[name] = answers
+        assert results["monolithic"] == results["per-frame"]

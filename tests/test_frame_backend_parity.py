@@ -1,0 +1,49 @@
+"""Zero verdict drift between the two frame-management substrates.
+
+The monolithic and per-frame backends must return identical SAFE/UNSAFE
+verdicts, and the witnesses of both must pass the independent validators
+(``check_certificate`` / ``check_counterexample``) unchanged.  This is
+the fast in-tree version of the acceptance check that
+``benchmarks/substrate_compare.py`` runs over the full suites.
+"""
+
+import pytest
+
+from repro.benchgen import modular_counter, token_ring
+from repro.benchgen.suite import quick_suite
+from repro.core import IC3, IC3Options, CheckResult
+from repro.core.invariant import check_certificate, check_counterexample
+
+BACKENDS = ("monolithic", "per-frame")
+
+
+def _check(case, backend, prediction=False):
+    options = IC3Options(frame_backend=backend)
+    if prediction:
+        options = options.with_prediction()
+    return IC3(case.aig, options).check(time_limit=30)
+
+
+class TestVerdictParity:
+    @pytest.mark.parametrize("case", quick_suite(), ids=lambda c: c.name)
+    def test_quick_suite_verdicts_agree_and_validate(self, case):
+        outcomes = {b: _check(case, b) for b in BACKENDS}
+        assert (
+            outcomes["monolithic"].result == outcomes["per-frame"].result
+        ), f"verdict drift on {case.name}"
+        if case.expected is not None:
+            assert outcomes["monolithic"].result == case.expected
+        for outcome in outcomes.values():
+            if outcome.result == CheckResult.SAFE:
+                assert check_certificate(case.aig, outcome.certificate)
+            elif outcome.result == CheckResult.UNSAFE:
+                assert check_counterexample(case.aig, outcome.trace)
+
+    @pytest.mark.parametrize(
+        "case",
+        [token_ring(5), modular_counter(4, modulus=16, bad_value=11)],
+        ids=lambda c: c.name,
+    )
+    def test_parity_with_lemma_prediction(self, case):
+        results = {b: _check(case, b, prediction=True).result for b in BACKENDS}
+        assert results["monolithic"] == results["per-frame"]

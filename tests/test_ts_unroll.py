@@ -118,3 +118,104 @@ class TestModelExtraction:
         unroller = Unroller(_counter_aig(), solver=solver)
         assert unroller.solver is solver
         assert solver.solve() is True
+
+
+class TestIncrementalReuse:
+    """One persistent unrolling serves every bound (ISSUE 4 satellite)."""
+
+    def test_literal_mappings_stable_across_solves_and_extensions(self):
+        aig = _counter_aig(3)
+        unroller = Unroller(aig)
+        before = {
+            (latch.lit, frame): unroller.lit_at(latch.lit, frame)
+            for frame in range(3)
+            for latch in aig.latches
+        }
+        assert unroller.solver.solve([unroller.bad_lit_at(2)]) in (True, False)
+        # Extending to deeper frames after a SAT call must not disturb
+        # any previously handed-out literal.
+        unroller.lit_at(aig.latches[0].lit, 6)
+        after = {
+            (latch.lit, frame): unroller.lit_at(latch.lit, frame)
+            for frame in range(3)
+            for latch in aig.latches
+        }
+        assert before == after
+        assert unroller.num_frames == 7
+
+    def test_latch_cube_projection_consistent_across_bounds(self):
+        # A mod-8 counter reaches value 7 exactly at depth 7; solving at
+        # increasing bounds on the same unroller must keep earlier
+        # frames' model projections consistent with simulation.
+        aig = _counter_aig(3)
+        unroller = Unroller(aig)
+        assert not unroller.solver.solve([unroller.bad_lit_at(3)])
+        assert unroller.solver.solve([unroller.bad_lit_at(7)])
+        model = unroller.solver.get_model()
+        for frame in range(8):
+            cube = unroller.latch_cube_at(model, frame)
+            value = 0
+            for bit, latch in enumerate(aig.latches):
+                lit = unroller.lit_at(latch.lit, frame)
+                bit_true = model.get(abs(lit), False)
+                if lit < 0:
+                    bit_true = not bit_true
+                value |= int(bit_true) << bit
+            assert value == frame  # counter counts 0,1,2,...
+            assert len(cube) == len(aig.latches)
+
+    def test_frames_are_appended_never_reencoded(self):
+        aig = _counter_aig(3)
+        unroller = Unroller(aig)
+        unroller.bad_lit_at(2)
+        clauses_at_depth_2 = unroller.solver.num_clauses
+        unroller.solver.solve([unroller.bad_lit_at(2)])
+        unroller.bad_lit_at(4)
+        grown = unroller.solver.num_clauses
+        assert grown > clauses_at_depth_2
+        # Re-requesting an old frame adds nothing.
+        unroller.bad_lit_at(2)
+        assert unroller.solver.num_clauses == grown
+
+
+class TestInitAsAssumption:
+    def test_init_guard_anchors_frame_zero_only_when_assumed(self):
+        aig = _counter_aig(3)
+        unroller = Unroller(aig, init_as_assumption=True)
+        bad0 = unroller.bad_lit_at(0)
+        # Without the init assumption frame 0 is unconstrained: the bad
+        # value (7) is reachable "immediately".
+        assert unroller.solver.solve([bad0])
+        # With it, frame 0 is the reset state (0), which is not bad.
+        assert not unroller.solver.solve(unroller.init_assumptions() + [bad0])
+
+    def test_init_assumptions_usable_before_first_frame(self):
+        # Regression: on a fresh unroller, init_assumptions() must build
+        # frame 0 itself — left-to-right evaluation of
+        # `solve(u.init_assumptions() + [u.bad_lit_at(0)])` calls it
+        # before any frame exists.
+        aig = _counter_aig(3)
+        unroller = Unroller(aig, init_as_assumption=True)
+        assumptions = unroller.init_assumptions()
+        assert len(assumptions) == 1
+        assert not unroller.solver.solve(assumptions + [unroller.bad_lit_at(0)])
+
+    def test_init_assumptions_empty_without_the_mode(self):
+        unroller = Unroller(_counter_aig(3))
+        assert unroller.init_assumptions() == []
+        unroller_no_init = Unroller(_counter_aig(3), use_init=False)
+        assert unroller_no_init.init_assumptions() == []
+
+    def test_base_and_step_queries_share_one_unrolling(self):
+        # k-induction's two cases on one unroller: base (init assumed)
+        # finds no counterexample at depth 1; step (no init) can still
+        # place an arbitrary state at frame 0.
+        aig = _counter_aig(3)
+        unroller = Unroller(aig, init_as_assumption=True)
+        bad1 = unroller.bad_lit_at(1)
+        assert not unroller.solver.solve(unroller.init_assumptions() + [bad1])
+        assert unroller.solver.solve([unroller.bad_lit_at(0)])
+        num_vars = unroller.solver.num_vars
+        # Both query families reused the same frames: no second encoding.
+        assert unroller.num_frames == 2
+        assert unroller.solver.num_vars == num_vars
