@@ -11,6 +11,10 @@ The package provides, from the bottom up:
   lift-back;
 * :mod:`repro.core` — IC3/PDR with CTP-based lemma prediction, plus BMC,
   k-induction and certificate/trace validation;
+* :mod:`repro.props` — multi-property & liveness verification: AIGER 1.9
+  justice/fairness obligations, liveness-to-safety and k-liveness
+  compilers with lasso lift-back, and the shared-substrate
+  PropertyScheduler;
 * :mod:`repro.benchgen` — the synthetic hardware benchmark suite;
 * :mod:`repro.harness` — the evaluation harness reproducing the paper's
   tables and figures.

@@ -8,13 +8,14 @@ replay, and readers/writers for both the ASCII ``.aag`` and the binary
 ``.aig`` formats.
 """
 
-from repro.aiger.aig import AIG, AigerError, FALSE_LIT, TRUE_LIT
+from repro.aiger.aig import AIG, AigerError, AigerParseError, FALSE_LIT, TRUE_LIT
 from repro.aiger.parser import parse_aiger, read_aiger
-from repro.aiger.writer import write_aag, write_aig, to_aag_string
+from repro.aiger.writer import write_aag, write_aig, to_aag_string, to_aig_bytes
 
 __all__ = [
     "AIG",
     "AigerError",
+    "AigerParseError",
     "FALSE_LIT",
     "TRUE_LIT",
     "parse_aiger",
@@ -22,4 +23,5 @@ __all__ = [
     "write_aag",
     "write_aig",
     "to_aag_string",
+    "to_aig_bytes",
 ]

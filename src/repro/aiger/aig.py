@@ -24,6 +24,24 @@ class AigerError(Exception):
     """Malformed AIG construction or file content."""
 
 
+class AigerParseError(AigerError):
+    """Malformed AIGER document (bad header, truncated or invalid section)."""
+
+
+def liveness_hint(aig: "AIG") -> str:
+    """Error-message suffix pointing justice-only models at the liveness
+    engines; empty when the AIG declares no justice properties.  Shared by
+    every layer that rejects a model for lacking safety properties."""
+    if not aig.justice:
+        return ""
+    count = len(aig.justice)
+    return (
+        f" (the AIG also declares {count} justice "
+        f"propert{'y' if count == 1 else 'ies'}; use the l2s/klive liveness "
+        f"engines or the property scheduler for those)"
+    )
+
+
 @dataclass
 class Latch:
     """A state-holding element: ``lit`` is its output literal."""
@@ -63,6 +81,8 @@ class AIG:
         self.outputs: List[int] = []
         self.bads: List[int] = []
         self.constraints: List[int] = []
+        self.justice: List[List[int]] = []
+        self.fairness: List[int] = []
         self.comment = comment
         self._and_cache: Dict[Tuple[int, int], int] = {}
         self._input_names: Dict[int, str] = {}
@@ -259,6 +279,28 @@ class AIG:
         self._check_lit(lit)
         self.constraints.append(lit)
 
+    def add_justice(self, lits: Sequence[int]) -> int:
+        """Declare a justice property; returns its index.
+
+        A justice property is *violated* by an infinite run in which every
+        one of its literals holds infinitely often (while every fairness
+        constraint also holds infinitely often and every invariant
+        constraint holds on each step).  Verification succeeds when no
+        such run exists.
+        """
+        literals = list(lits)
+        if not literals:
+            raise AigerError("a justice property needs at least one literal")
+        for lit in literals:
+            self._check_lit(lit)
+        self.justice.append(literals)
+        return len(self.justice) - 1
+
+    def add_fairness(self, lit: int) -> None:
+        """Declare a fairness constraint (must recur in any justice violation)."""
+        self._check_lit(lit)
+        self.fairness.append(lit)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -300,11 +342,15 @@ class AIG:
                     f"AND gate {gate.lhs} is not in topological order"
                 )
             seen_vars.add(gate.lhs >> 1)
-        for lit in self.outputs + self.bads + self.constraints + [
+        justice_lits = [lit for group in self.justice for lit in group]
+        for lit in self.outputs + self.bads + self.constraints + justice_lits + self.fairness + [
             latch.next for latch in self.latches
         ]:
             if (lit >> 1) not in seen_vars:
                 raise AigerError(f"literal {lit} refers to an undefined variable")
+        for group in self.justice:
+            if not group:
+                raise AigerError("a justice property needs at least one literal")
 
     # ------------------------------------------------------------------
     # Simulation
@@ -339,6 +385,10 @@ class AIG:
                 "outputs": [values[lit] for lit in self.outputs],
                 "bads": [values[lit] for lit in self.bads],
                 "constraints": [values[lit] for lit in self.constraints],
+                "justice": [
+                    [values[lit] for lit in group] for group in self.justice
+                ],
+                "fairness": [values[lit] for lit in self.fairness],
             }
             trace.append(record)
             latch_values = {
@@ -365,7 +415,11 @@ class AIG:
         return values
 
     def __repr__(self) -> str:
+        liveness = ""
+        if self.justice or self.fairness:
+            liveness = f", justice={len(self.justice)}, fairness={len(self.fairness)}"
         return (
             f"AIG(inputs={self.num_inputs}, latches={self.num_latches}, "
-            f"ands={self.num_ands}, outputs={len(self.outputs)}, bads={len(self.bads)})"
+            f"ands={self.num_ands}, outputs={len(self.outputs)}, bads={len(self.bads)}"
+            f"{liveness})"
         )

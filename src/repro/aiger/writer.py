@@ -15,6 +15,14 @@ from typing import Dict, List, Union
 from repro.aiger.aig import AIG, AigerError, FALSE_LIT
 
 
+def _extension_counts(aig: AIG) -> List[int]:
+    """The ``B C J F`` header fields, trimmed after the last non-zero one."""
+    counts = [len(aig.bads), len(aig.constraints), len(aig.justice), len(aig.fairness)]
+    while counts and counts[-1] == 0:
+        counts.pop()
+    return counts
+
+
 def to_aag_string(aig: AIG) -> str:
     """Render an AIG in the ASCII AIGER format."""
     header_counts = [
@@ -23,12 +31,7 @@ def to_aag_string(aig: AIG) -> str:
         aig.num_latches,
         len(aig.outputs),
         aig.num_ands,
-    ]
-    has_extensions = bool(aig.bads or aig.constraints)
-    if has_extensions:
-        header_counts.append(len(aig.bads))
-        if aig.constraints:
-            header_counts.append(len(aig.constraints))
+    ] + _extension_counts(aig)
     lines = ["aag " + " ".join(str(n) for n in header_counts)]
     for lit in aig.inputs:
         lines.append(str(lit))
@@ -44,6 +47,13 @@ def to_aag_string(aig: AIG) -> str:
     for lit in aig.bads:
         lines.append(str(lit))
     for lit in aig.constraints:
+        lines.append(str(lit))
+    for group in aig.justice:
+        lines.append(str(len(group)))
+    for group in aig.justice:
+        for lit in group:
+            lines.append(str(lit))
+    for lit in aig.fairness:
         lines.append(str(lit))
     for gate in aig.ands:
         lines.append(f"{gate.lhs} {gate.rhs0} {gate.rhs1}")
@@ -82,11 +92,13 @@ def to_aig_bytes(aig: AIG) -> bytes:
     num_ands = aig.num_ands
     max_var = num_inputs + num_latches + num_ands
 
-    header = [max_var, num_inputs, num_latches, len(aig.outputs), num_ands]
-    if aig.bads or aig.constraints:
-        header.append(len(aig.bads))
-        if aig.constraints:
-            header.append(len(aig.constraints))
+    header = [
+        max_var,
+        num_inputs,
+        num_latches,
+        len(aig.outputs),
+        num_ands,
+    ] + _extension_counts(aig)
     parts: List[bytes] = ["aig {}\n".format(" ".join(str(n) for n in header)).encode()]
 
     for latch in aig.latches:
@@ -101,6 +113,13 @@ def to_aig_bytes(aig: AIG) -> bytes:
     for lit in aig.bads:
         parts.append(f"{map_lit(lit)}\n".encode())
     for lit in aig.constraints:
+        parts.append(f"{map_lit(lit)}\n".encode())
+    for group in aig.justice:
+        parts.append(f"{len(group)}\n".encode())
+    for group in aig.justice:
+        for lit in group:
+            parts.append(f"{map_lit(lit)}\n".encode())
+    for lit in aig.fairness:
         parts.append(f"{map_lit(lit)}\n".encode())
 
     for gate in aig.ands:

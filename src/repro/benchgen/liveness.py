@@ -1,0 +1,215 @@
+"""Liveness benchmark circuits: justice/fairness verification problems.
+
+Each family states a ``G F p`` ("p happens infinitely often") obligation
+in the standard AIGER 1.9 encoding of its negation ``F G ¬p``: a free
+``jump`` oracle input moves a monitor latch ``in_final`` to its accepting
+state, an invariant constraint forbids ``p`` once there, and the justice
+property is "``in_final`` infinitely often" — a counterexample is exactly
+a run on which ``p`` eventually never happens again.  Fairness
+constraints refine the arbiter family (starvation only counts while the
+client keeps requesting).
+
+The safe variants are genuinely live (k-liveness proves them with a
+small bound); the buggy variants have a reachable livelock that
+liveness-to-safety refutes with a short lasso.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.aiger.aig import AIG, FALSE_LIT
+from repro.benchgen.case import BenchmarkCase
+from repro.core.result import CheckResult
+
+
+def _attach_gf_monitor(
+    aig: AIG, recur_lit: int, name: str = "gf"
+) -> Tuple[int, int]:
+    """Encode the justice obligation ``G F recur_lit`` on the circuit.
+
+    Returns ``(justice_index, in_final_lit)``.  The encoding adds the
+    Büchi monitor for the negation ``F G ¬recur_lit``: a free ``jump``
+    input, an absorbing ``in_final`` latch, the invariant constraint
+    ``¬(in_final ∧ recur_lit)`` (harmless for the original behaviour —
+    every run can keep ``jump`` low) and the justice set ``{in_final}``.
+    """
+    jump = aig.add_input(f"{name}_jump")
+    in_final = aig.add_latch(init=0, name=f"{name}_in_final")
+    aig.set_latch_next(in_final, aig.or_gate(in_final, jump))
+    aig.add_constraint(aig.negate(aig.add_and(in_final, recur_lit)))
+    return aig.add_justice([in_final]), in_final
+
+
+def token_ring_live(size: int, safe: bool = True) -> BenchmarkCase:
+    """Token-ring starvation: the token must return to stage 0 forever.
+
+    The obligation is ``G F stage0``.  The SAFE variant rotates the token
+    unconditionally, so stage 0 sees it every ``size`` steps on every
+    run.  The buggy variant adds a ``stall`` input that freezes the whole
+    ring — stalling forever after the token leaves stage 0 starves it, a
+    one-step-loop lasso.
+    """
+    if size < 2:
+        raise ValueError("size must be at least 2")
+    aig = AIG(comment=f"live token ring size={size} safe={safe}")
+    stall = aig.add_input("stall") if not safe else None
+    stages = [
+        aig.add_latch(init=1 if i == 0 else 0, name=f"stage{i}") for i in range(size)
+    ]
+    for index, stage in enumerate(stages):
+        rotated = stages[(index - 1) % size]
+        aig.set_latch_next(stage, aig.mux(stall, stage, rotated) if not safe else rotated)
+    _attach_gf_monitor(aig, stages[0], name="starve")
+    aig.validate()
+
+    return BenchmarkCase(
+        name=f"livering_n{size}_{'safe' if safe else 'buggy'}",
+        aig=aig,
+        expected=CheckResult.SAFE if safe else CheckResult.UNSAFE,
+        family="livering",
+        params={"size": size, "safe": safe},
+        expected_properties=[CheckResult.SAFE if safe else CheckResult.UNSAFE],
+    )
+
+
+def arbiter_live(clients: int, safe: bool = True) -> BenchmarkCase:
+    """Eventual grant: a persistently requesting client 0 is served.
+
+    Requests are latched into ``pending`` flags until granted.  The SAFE
+    variant grants with a round-robin token, so a pending request meets
+    the token within ``clients`` steps on every run.  The buggy variant
+    grants by fixed priority favouring the *highest* client — a
+    permanent request from client 1 starves client 0 forever.  The
+    fairness constraint restricts counterexamples to runs where client 0
+    actually keeps wanting the grant (``pending0`` infinitely often).
+    """
+    if clients < 2:
+        raise ValueError("clients must be at least 2")
+    aig = AIG(comment=f"live arbiter clients={clients} safe={safe}")
+    requests = [aig.add_input(f"req{i}") for i in range(clients)]
+    pending = [aig.add_latch(init=0, name=f"pending{i}") for i in range(clients)]
+    token = (
+        [aig.add_latch(init=1 if i == 0 else 0, name=f"token{i}") for i in range(clients)]
+        if safe
+        else []
+    )
+
+    wants = [aig.or_gate(p, r) for p, r in zip(pending, requests)]
+    grants: List[int] = []
+    if safe:
+        for index in range(clients):
+            aig.set_latch_next(token[index], token[(index - 1) % clients])
+            grants.append(aig.add_and(wants[index], token[index]))
+    else:
+        # Fixed priority, highest client wins: lower clients starve.
+        higher = FALSE_LIT
+        priority_grants: List[Optional[int]] = [None] * clients
+        for index in range(clients - 1, -1, -1):
+            priority_grants[index] = aig.add_and(wants[index], aig.negate(higher))
+            higher = aig.or_gate(higher, wants[index])
+        grants = [g for g in priority_grants]
+
+    for index in range(clients):
+        aig.set_latch_next(
+            pending[index], aig.add_and(wants[index], aig.negate(grants[index]))
+        )
+
+    _attach_gf_monitor(aig, grants[0], name="grant")
+    aig.add_fairness(pending[0])
+    aig.validate()
+
+    return BenchmarkCase(
+        name=f"livearb_c{clients}_{'safe' if safe else 'buggy'}",
+        aig=aig,
+        expected=CheckResult.SAFE if safe else CheckResult.UNSAFE,
+        family="livearb",
+        params={"clients": clients, "safe": safe},
+        expected_properties=[CheckResult.SAFE if safe else CheckResult.UNSAFE],
+    )
+
+
+def handshake_live(safe: bool = True) -> BenchmarkCase:
+    """A four-phase handshake that must keep completing transactions.
+
+    States IDLE → REQ → ACK → DONE → IDLE; the obligation is
+    ``G F done``.  The SAFE variant always advances.  The buggy variant
+    adds a ``retry`` input at ACK that bounces the handshake back to REQ
+    without completing — retrying forever is a classic livelock, a
+    two-step-loop lasso.
+    """
+    aig = AIG(comment=f"live handshake safe={safe}")
+    retry = aig.add_input("retry") if not safe else None
+    s0 = aig.add_latch(init=0, name="hs0")  # state bit 0
+    s1 = aig.add_latch(init=0, name="hs1")  # state bit 1
+
+    idle = aig.add_and(aig.negate(s1), aig.negate(s0))
+    req = aig.add_and(aig.negate(s1), s0)
+    ack = aig.add_and(s1, aig.negate(s0))
+    done = aig.add_and(s1, s0)
+
+    # IDLE->REQ, REQ->ACK, ACK->(retry ? REQ : DONE), DONE->IDLE.
+    to_req = idle
+    to_ack = req
+    if safe:
+        to_done = ack
+        bounced = FALSE_LIT
+    else:
+        bounced = aig.add_and(ack, retry)
+        to_done = aig.add_and(ack, aig.negate(retry))
+    next_s1 = aig.or_gate(to_ack, to_done)
+    next_s0 = aig.or_gate(aig.or_gate(to_req, to_done), bounced)
+    aig.set_latch_next(s0, next_s0)
+    aig.set_latch_next(s1, next_s1)
+
+    _attach_gf_monitor(aig, done, name="progress")
+    aig.validate()
+
+    return BenchmarkCase(
+        name=f"livehs_{'safe' if safe else 'buggy'}",
+        aig=aig,
+        expected=CheckResult.SAFE if safe else CheckResult.UNSAFE,
+        family="livehs",
+        params={"safe": safe},
+        expected_properties=[CheckResult.SAFE if safe else CheckResult.UNSAFE],
+    )
+
+
+def mixed_properties(size: int = 3) -> BenchmarkCase:
+    """A multi-property model with mixed verdicts: the scheduler's bread
+    and butter and the acceptance scenario of the subsystem.
+
+    One rotating one-hot ring carries three obligations:
+
+    * ``b0`` — mutual exclusion (never two tokens): SAFE;
+    * ``b1`` — the token reaches the last stage: UNSAFE at depth
+      ``size - 1``;
+    * ``j0`` — the token returns to stage 0 infinitely often: SAFE.
+    """
+    if size < 2:
+        raise ValueError("size must be at least 2")
+    aig = AIG(comment=f"mixed-verdict multi-property ring size={size}")
+    stages = [
+        aig.add_latch(init=1 if i == 0 else 0, name=f"stage{i}") for i in range(size)
+    ]
+    for index, stage in enumerate(stages):
+        aig.set_latch_next(stage, stages[(index - 1) % size])
+
+    collision = FALSE_LIT
+    for i in range(size):
+        for j in range(i + 1, size):
+            collision = aig.or_gate(collision, aig.add_and(stages[i], stages[j]))
+    aig.add_bad(collision)
+    aig.add_bad(stages[size - 1])
+    _attach_gf_monitor(aig, stages[0], name="starve")
+    aig.validate()
+
+    return BenchmarkCase(
+        name=f"livemix_n{size}",
+        aig=aig,
+        expected=CheckResult.UNSAFE,  # aggregate: one property fails
+        family="livemix",
+        params={"size": size},
+        expected_depth=size - 1,
+        expected_properties=[CheckResult.SAFE, CheckResult.UNSAFE, CheckResult.SAFE],
+    )

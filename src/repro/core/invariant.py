@@ -39,7 +39,7 @@ def check_certificate(
     Raises :class:`CertificateError` on failure, returns True on success.
     """
     ts = system if isinstance(system, TransitionSystem) else TransitionSystem(
-        system, property_index=property_index
+        system, property_index=property_index, warn_on_ambiguity=False
     )
 
     # 1. Initiation: every clause must hold on the initial states, and the
@@ -93,7 +93,7 @@ def check_counterexample(
     if not trace.steps:
         raise CertificateError("empty counterexample trace")
 
-    ts = TransitionSystem(aig, property_index=property_index)
+    ts = TransitionSystem(aig, property_index=property_index, warn_on_ambiguity=False)
     latch_value_of_var = {}
     for latch, var in zip(aig.latches, ts.latch_vars):
         latch_value_of_var[var] = latch
@@ -125,6 +125,14 @@ def check_counterexample(
                 raise CertificateError(
                     f"trace step {step_index} disagrees with simulation on latch {latch.lit}"
                 )
+
+    # Invariant constraints must hold on every step of the run — a trace
+    # that leaves the constrained state space is no counterexample.
+    for step_index, record in enumerate(records):
+        if not all(record["constraints"]):
+            raise CertificateError(
+                f"an invariant constraint fails at trace step {step_index}"
+            )
 
     final = records[-1]
     signals = final["bads"] if aig.bads else final["outputs"]

@@ -50,6 +50,11 @@ class IC3Stats:
     activation_vars_recycled: int = 0
     activation_vars_retired: int = 0
 
+    # Multi-property scheduling activity (manifest schema v4)
+    shared_lemmas_offered: int = 0    # pool clauses offered to a sibling run
+    shared_lemmas_applied: int = 0    # pool clauses actually seeded into frames
+    shared_unrolling_queries: int = 0  # BMC queries answered by a shared unrolling
+
     # Generalization activity
     generalizations: int = 0          # N_g
     mic_drop_attempts: int = 0
@@ -121,6 +126,9 @@ class IC3Stats:
             "activation_vars_allocated": self.activation_vars_allocated,
             "activation_vars_recycled": self.activation_vars_recycled,
             "activation_vars_retired": self.activation_vars_retired,
+            "shared_lemmas_offered": self.shared_lemmas_offered,
+            "shared_lemmas_applied": self.shared_lemmas_applied,
+            "shared_unrolling_queries": self.shared_unrolling_queries,
             "generalizations": self.generalizations,
             "mic_drop_attempts": self.mic_drop_attempts,
             "mic_drop_successes": self.mic_drop_successes,

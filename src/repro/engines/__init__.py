@@ -8,13 +8,17 @@ first definite verdict.
 
 Registered kinds (see :func:`available_engines`):
 
-========== ==========================================================
-``ic3``       IC3/PDR without lemma prediction
-``ic3-pl``    IC3/PDR with the paper's CTP-based lemma prediction
-``bmc``       bounded model checking (finds counterexamples only)
-``kind``      k-induction (alias ``k-induction``)
-``portfolio`` process-parallel race of the above, first verdict wins
-========== ==========================================================
+============= ==========================================================
+``ic3``        IC3/PDR without lemma prediction
+``ic3-pl``     IC3/PDR with the paper's CTP-based lemma prediction
+``bmc``        bounded model checking (finds counterexamples only)
+``kind``       k-induction (alias ``k-induction``)
+``portfolio``  process-parallel race of the above, first verdict wins
+``l2s``        liveness-to-safety for justice properties (proof + lasso)
+``klive``      k-liveness sweep for justice properties (proof only)
+``scheduler``  multi-property scheduler: every bad/justice property of
+               the model in one run on a shared substrate
+============= ==========================================================
 
 Typical use::
 
@@ -35,6 +39,7 @@ from repro.engines.registry import (
 )
 from repro.engines.adapters import BMCEngine, IC3Engine, KInductionEngine
 from repro.engines.portfolio import DEFAULT_PORTFOLIO, PortfolioEngine
+from repro.engines.liveness import KLivenessEngine, L2SEngine
 
 __all__ = [
     "Engine",
@@ -49,4 +54,6 @@ __all__ = [
     "KInductionEngine",
     "PortfolioEngine",
     "DEFAULT_PORTFOLIO",
+    "L2SEngine",
+    "KLivenessEngine",
 ]

@@ -33,6 +33,21 @@ Schema v3 (``repro-check/manifest/v3``) additions over v2:
 * per-configuration ``frame_backend`` and ``sat_backend`` — which
   solving substrate the configuration ran on (None for engines that do
   not take IC3 options).
+
+Schema v4 (``repro-check/manifest/v4``) additions over v3:
+
+* per-result ``properties`` — for multi-property scheduler runs, one
+  record per property of the model (number/label/kind, verdict, engine,
+  runtime, validation status, ``shared_lemmas_applied`` hits and the
+  liveness-transformation summary); None for single-property runs;
+* per-result ``transformation`` — the l2s/k-liveness compiler summary
+  (kind, tracked literals, auxiliary latches, proved bound ``k``) when
+  the configuration ran a liveness engine directly; None otherwise;
+* per-result ``stats`` now includes the multi-property sharing counters
+  ``shared_lemmas_offered`` / ``shared_lemmas_applied`` (invariant
+  clauses seeded across sibling properties) and
+  ``shared_unrolling_queries`` (BMC queries answered by the scheduler's
+  shared unrolling).
 """
 
 from __future__ import annotations
@@ -44,7 +59,7 @@ from typing import Dict, Optional, Sequence
 from repro.harness.configs import EngineConfig
 from repro.harness.runner import CaseResult, SuiteResult
 
-MANIFEST_SCHEMA = "repro-check/manifest/v3"
+MANIFEST_SCHEMA = "repro-check/manifest/v4"
 
 
 def _reduction_sizes(result: CaseResult) -> Optional[Dict[str, object]]:
@@ -99,6 +114,8 @@ def build_manifest(
             "validated": r.validated,
             "stats": r.stats.as_dict(),
             "reduction": _reduction_sizes(r),
+            "properties": r.properties,
+            "transformation": r.transformation,
             "error": r.error,
         }
         for r in suite_result.results

@@ -49,6 +49,14 @@ class CaseResult:
     """Original-vs-reduced model sizes (``ReductionResult.summary()``),
     None when the engine ran without reduction preprocessing."""
 
+    properties: Optional[List[Dict[str, object]]] = None
+    """For multi-property scheduler configurations: one verdict record per
+    property of the case's model (manifest schema v4), None otherwise."""
+
+    transformation: Optional[Dict[str, object]] = None
+    """Liveness-transformation summary (l2s/k-liveness compiler stats),
+    None for plain safety runs."""
+
     error: Optional[str] = None
     """Worker failure description (crash or hard kill), None on clean runs."""
 
@@ -197,11 +205,33 @@ def _execute_case(spec: _TaskSpec) -> CaseResult:
         engine=outcome.winner or outcome.engine,
         winner=outcome.winner,
         reduction=outcome.reduction,
+        properties=outcome.properties,
+        transformation=outcome.transformation,
     )
 
 
 def _validate(case: BenchmarkCase, outcome: CheckOutcome) -> Optional[bool]:
     try:
+        if outcome.result == CheckResult.UNSAFE and outcome.lasso is not None:
+            from repro.props.witness import check_lasso
+
+            return check_lasso(case.aig, outcome.lasso)
+        if (
+            outcome.result == CheckResult.SAFE
+            and outcome.certificate is not None
+            and outcome.transformation is not None
+        ):
+            from repro.props.witness import check_liveness_certificate
+
+            transformation = outcome.transformation
+            return check_liveness_certificate(
+                case.aig,
+                outcome.certificate,
+                justice_index=int(transformation.get("justice_index", 0)),
+                method=str(transformation.get("kind", "l2s")),
+                max_k=int(transformation.get("max_k", 16)),
+                k=int(transformation.get("k", 0)),
+            )
         if outcome.result == CheckResult.SAFE and outcome.certificate is not None:
             return check_certificate(case.aig, outcome.certificate)
         if outcome.result == CheckResult.UNSAFE and outcome.trace is not None:

@@ -1,0 +1,63 @@
+"""Multi-property and liveness verification subsystem.
+
+This package turns one AIGER 1.9 model into a scheduled batch of
+verification obligations and answers every one of them in a single run:
+
+* :mod:`repro.props.obligations` — flat enumeration of the bad, output
+  and justice properties a model declares;
+* :mod:`repro.props.l2s` — the liveness-to-safety compiler
+  (Biere–Artho–Schuppan): a justice property becomes one safety bad on
+  an augmented circuit, and safety counterexamples lift back to lasso
+  traces on the original AIG;
+* :mod:`repro.props.klive` — the k-liveness compiler
+  (Claessen–Sörensson): a recurrence monitor plus a saturating tick
+  counter with one bad literal per bound ``k``;
+* :mod:`repro.props.witness` — independent validation of lasso
+  counterexamples (simulation) and liveness certificates
+  (deterministic recompilation);
+* :mod:`repro.props.scheduler` — the :class:`PropertyScheduler`, which
+  probes all safety properties on one shared BMC unrolling, seeds
+  invariants proved for one property into sibling IC3 runs on the same
+  cone, and runs justice obligations through the k-liveness/l2s engine
+  ladder.
+
+Typical use::
+
+    from repro.aiger import read_aiger
+    from repro.props import PropertyScheduler
+
+    result = PropertyScheduler(read_aiger("model.aag")).run(time_limit=60)
+    print(result.format_table())
+"""
+
+from repro.props.klive import KLiveResult, kliveness
+from repro.props.l2s import L2SResult, liveness_to_safety
+from repro.props.obligations import PropertyObligation, enumerate_obligations
+from repro.props.scheduler import (
+    PropertyScheduler,
+    PropertyVerdict,
+    ScheduleResult,
+    SchedulerEngine,
+    SchedulerError,
+)
+from repro.props.transform import CircuitCopy, TransformError, clone_circuit
+from repro.props.witness import check_lasso, check_liveness_certificate
+
+__all__ = [
+    "CircuitCopy",
+    "KLiveResult",
+    "L2SResult",
+    "PropertyObligation",
+    "PropertyScheduler",
+    "PropertyVerdict",
+    "ScheduleResult",
+    "SchedulerEngine",
+    "SchedulerError",
+    "TransformError",
+    "check_lasso",
+    "check_liveness_certificate",
+    "clone_circuit",
+    "enumerate_obligations",
+    "kliveness",
+    "liveness_to_safety",
+]

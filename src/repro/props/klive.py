@@ -1,0 +1,117 @@
+"""k-liveness transformation (Claessen–Sörensson).
+
+A justice property holds iff, for some bound ``k``, no run makes the
+"every tracked literal has been seen again" event happen more than ``k``
+times: infinitely many such events are exactly a run in which every
+justice literal and every fairness constraint recurs infinitely often.
+For finite-state systems such a ``k`` always exists when the property
+holds (a run with more events than states contains a violating lasso),
+so raising ``k`` until a safety engine proves the bound is a complete
+*proof* procedure — refutation is the job of the liveness-to-safety
+sibling (:mod:`repro.props.l2s`).
+
+The compiler emits ONE circuit for the whole sweep: a monitor that
+pulses ``tick`` whenever all tracked literals have been observed (then
+resets), a saturating tick counter, and ``max_k + 1`` bad literals where
+``bad_k`` is "the counter reached ``k + 1``".  The per-``k`` runs of
+:class:`repro.engines.liveness.KLivenessEngine` are then just different
+``property_index`` selections on the same AIG — the incremental-bound
+idiom at the circuit level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.aiger.aig import AIG
+from repro.props.transform import CircuitCopy, clone_circuit, justice_literals
+
+
+@dataclass
+class KLiveResult:
+    """The compiled counter circuit: bad ``k`` asserts "more than k ticks"."""
+
+    original: AIG
+    aig: AIG
+    justice_index: int
+    max_k: int
+    num_tracked: int
+    counter_bits: int
+    aux_latches: int
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-serializable description for manifests and reports."""
+        return {
+            "kind": "klive",
+            "justice_index": self.justice_index,
+            "max_k": self.max_k,
+            "tracked_literals": self.num_tracked,
+            "counter_bits": self.counter_bits,
+            "aux_latches": self.aux_latches,
+            "original": {
+                "inputs": self.original.num_inputs,
+                "latches": self.original.num_latches,
+                "ands": self.original.num_ands,
+            },
+            "transformed": {
+                "inputs": self.aig.num_inputs,
+                "latches": self.aig.num_latches,
+                "ands": self.aig.num_ands,
+            },
+        }
+
+
+def kliveness(aig: AIG, justice_index: int = 0, max_k: int = 16) -> KLiveResult:
+    """Compile one justice property into the k-liveness counter circuit."""
+    if max_k < 0:
+        raise ValueError("max_k must be non-negative")
+    tracked = justice_literals(aig, justice_index)
+    copy: CircuitCopy = clone_circuit(
+        aig,
+        comment=f"k-liveness of justice property {justice_index} (max_k={max_k})",
+    )
+    new = copy.aig
+    aux_before = new.num_latches
+
+    # The recurrence monitor: seen_i remembers literal i occurred since
+    # the last tick; tick fires when every literal has been seen (or is
+    # being seen right now) and resets the flags.
+    seen = [
+        new.add_latch(init=0, name=f"klive_seen{index}")
+        for index in range(len(tracked))
+    ]
+    pending = [
+        new.or_gate(flag, copy.map_lit(lit)) for flag, lit in zip(seen, tracked)
+    ]
+    tick = new.and_many(pending)
+    for flag, pend in zip(seen, pending):
+        new.set_latch_next(flag, new.add_and(new.negate(tick), pend))
+
+    # Saturating tick counter; cap = max_k + 1 so every bad_k below is
+    # reached by exact increments, never jumped over.
+    cap = max_k + 1
+    counter_bits = max(1, cap.bit_length())
+    count = [
+        new.add_latch(init=0, name=f"klive_count{bit}")
+        for bit in range(counter_bits)
+    ]
+    incremented = new.increment(count)
+    at_cap = new.equal_const(count, cap)
+    advance = new.add_and(tick, new.negate(at_cap))
+    for bit, latch in enumerate(count):
+        new.set_latch_next(latch, new.mux(advance, incremented[bit], latch))
+
+    for k in range(max_k + 1):
+        new.add_bad(new.equal_const(count, k + 1))
+    new.validate()
+
+    return KLiveResult(
+        original=aig,
+        aig=new,
+        justice_index=justice_index,
+        max_k=max_k,
+        num_tracked=len(tracked),
+        counter_bits=counter_bits,
+        aux_latches=new.num_latches - aux_before,
+    )

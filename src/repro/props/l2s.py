@@ -1,0 +1,210 @@
+"""Liveness-to-safety transformation (Biere–Artho–Schuppan).
+
+A justice property is violated exactly when the system has a *lasso*: a
+finite stem into a loop on which every justice literal (and every
+fairness constraint) holds at least once.  For finite-state systems the
+search for such a lasso reduces to a safety check on an augmented
+circuit:
+
+* a fresh oracle input ``save`` guesses the loop-start step;
+* a ``saved`` flag latch remembers that the guess happened;
+* one *shadow* latch per original latch snapshots the state at the
+  guessed step;
+* one ``seen`` latch per justice/fairness literal records that the
+  literal held at some step since the snapshot;
+* the single bad state is ``saved ∧ (state = shadow) ∧ ⋀ seen`` — the
+  loop closed and every tracked literal occurred inside it.
+
+The compiled circuit is an ordinary safety problem that every engine in
+this package (and every reduction pass) can process; a counterexample
+trace on it is lifted back to a :class:`~repro.core.result.LassoTrace`
+on the original AIG, and a safety certificate on it *is* the liveness
+proof (validated by recompiling — the transformation is deterministic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.aiger.aig import AIG
+from repro.core.result import CounterexampleTrace, LassoTrace, TraceStep
+from repro.props.transform import (
+    CircuitCopy,
+    TransformError,
+    clone_circuit,
+    justice_literals,
+)
+
+
+@dataclass
+class L2SResult:
+    """The compiled safety circuit plus everything lift-back needs."""
+
+    original: AIG
+    aig: AIG
+    """Transformed model; its single bad literal (index 0) is the lasso."""
+
+    justice_index: int
+    save_lit: int
+    """The loop-start oracle input of the transformed model."""
+
+    num_tracked: int
+    """Justice literals tracked, fairness constraints included."""
+
+    aux_latches: int
+    """Monitor latches added (saved + shadows + seen flags)."""
+
+    input_origin: List[int] = field(default_factory=list)
+    """Transformed input index -> original input index (-1 for ``save``)."""
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-serializable description for manifests and reports."""
+        return {
+            "kind": "l2s",
+            "justice_index": self.justice_index,
+            "tracked_literals": self.num_tracked,
+            "aux_latches": self.aux_latches,
+            "original": {
+                "inputs": self.original.num_inputs,
+                "latches": self.original.num_latches,
+                "ands": self.original.num_ands,
+            },
+            "transformed": {
+                "inputs": self.aig.num_inputs,
+                "latches": self.aig.num_latches,
+                "ands": self.aig.num_ands,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Witness lift-back
+    # ------------------------------------------------------------------
+    def lift_trace(self, trace: CounterexampleTrace) -> LassoTrace:
+        """Translate a safety counterexample on the compiled circuit into a
+        lasso on the original AIG.
+
+        The loop starts at the step where the ``save`` oracle first fires;
+        the final (bad) step closes the loop — its state equals the
+        snapshot — so it is dropped and replaced by the ``loop_start``
+        marker.  The original circuit is re-simulated with the projected
+        inputs, which yields full, consistent-by-construction states over
+        *latch indices* (literal ``±(index + 1)`` refers to latch
+        ``index`` — the convention validated by
+        :func:`repro.props.witness.check_lasso`).
+        """
+        if len(trace.steps) < 2:
+            raise TransformError("an l2s counterexample needs at least two steps")
+
+        # 1. Loop start: the first step whose inputs assert the oracle.
+        loop_start = None
+        for index, step in enumerate(trace.steps):
+            if step.inputs.get(self.save_lit, False):
+                loop_start = index
+                break
+        if loop_start is None or loop_start >= len(trace.steps) - 1:
+            raise TransformError(
+                "l2s counterexample never triggers the save oracle before the bad step"
+            )
+
+        # 2. Project the inputs onto the original input literals.
+        input_sequence: List[Dict[int, bool]] = []
+        for step in trace.steps[:-1]:
+            assignment = {lit: False for lit in self.original.inputs}
+            for new_index, new_lit in enumerate(self.aig.inputs):
+                origin = self.input_origin[new_index]
+                if origin < 0:
+                    continue
+                assignment[self.original.inputs[origin]] = bool(
+                    step.inputs.get(new_lit, False)
+                )
+            input_sequence.append(assignment)
+
+        # 3. Initial latch values: reset values, overridden by the first
+        # state cube for latches without a defined reset.  The transformed
+        # model's latch variables 1..L of the first cube correspond to the
+        # original latches because the clone preserves latch order and the
+        # TransitionSystem numbers latch variables in that order.
+        from repro.ts.system import TransitionSystem
+
+        transformed_ts = TransitionSystem(self.aig, property_index=0)
+        original_index_of_var = {
+            var: index
+            for index, var in enumerate(transformed_ts.latch_vars)
+            if index < self.original.num_latches
+        }
+        initial: Dict[int, bool] = {}
+        for latch in self.original.latches:
+            initial[latch.lit] = bool(latch.init) if latch.init is not None else False
+        for lit in trace.steps[0].state:
+            index = original_index_of_var.get(abs(lit))
+            if index is not None:
+                initial[self.original.latches[index].lit] = lit > 0
+
+        # 4. Re-simulate the original circuit and emit index-space cubes.
+        records = self.original.simulate(input_sequence, initial_latches=initial)
+        from repro.logic.cube import Cube
+
+        steps = []
+        for record, assignment in zip(records, input_sequence):
+            literals = []
+            for index, latch in enumerate(self.original.latches):
+                var = index + 1
+                literals.append(var if record["latches"][latch.lit] else -var)
+            steps.append(TraceStep(state=Cube(literals), inputs=assignment))
+        return LassoTrace(
+            steps=steps, loop_start=loop_start, justice_index=self.justice_index
+        )
+
+
+def liveness_to_safety(aig: AIG, justice_index: int = 0) -> L2SResult:
+    """Compile one justice property of ``aig`` into a safety circuit."""
+    tracked = justice_literals(aig, justice_index)
+    copy: CircuitCopy = clone_circuit(
+        aig,
+        comment=f"l2s of justice property {justice_index}",
+    )
+    new = copy.aig
+    aux_before = new.num_latches
+
+    save = new.add_input("l2s_save")
+    saved = new.add_latch(init=0, name="l2s_saved")
+    recording = new.or_gate(saved, save)  # true from the snapshot step on
+    trigger = new.add_and(save, new.negate(saved))
+    new.set_latch_next(saved, recording)
+
+    shadows = []
+    for index, latch in enumerate(aig.latches):
+        shadow = new.add_latch(init=0, name=f"l2s_shadow{index}")
+        new.set_latch_next(
+            shadow, new.mux(trigger, copy.map_lit(latch.lit), shadow)
+        )
+        shadows.append(shadow)
+
+    seen = []
+    for index, lit in enumerate(tracked):
+        flag = new.add_latch(init=0, name=f"l2s_seen{index}")
+        new.set_latch_next(
+            flag, new.add_and(recording, new.or_gate(flag, copy.map_lit(lit)))
+        )
+        seen.append(flag)
+
+    loop_closed = new.and_many(
+        [
+            new.xnor_gate(copy.map_lit(latch.lit), shadow)
+            for latch, shadow in zip(aig.latches, shadows)
+        ]
+    )
+    new.add_bad(new.and_many([saved, loop_closed] + seen))
+    new.validate()
+
+    input_origin = list(range(aig.num_inputs)) + [-1]  # save is last
+    return L2SResult(
+        original=aig,
+        aig=new,
+        justice_index=justice_index,
+        save_lit=save,
+        num_tracked=len(tracked),
+        aux_latches=new.num_latches - aux_before,
+        input_origin=input_origin,
+    )

@@ -1,0 +1,89 @@
+"""Enumeration of the verification obligations an AIG carries.
+
+An AIGER 1.9 file can declare many properties at once: bad-state (safety)
+properties, legacy outputs read as bad signals, and justice (liveness)
+properties refined by global fairness constraints.  The scheduler works
+on a flat, deterministically numbered list of
+:class:`PropertyObligation` records — bads (or outputs standing in for
+them) first, justice properties after — so ``--property N`` means the
+same thing everywhere: CLI, scheduler, manifests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.aiger.aig import AIG
+
+BAD = "bad"
+OUTPUT = "output"
+JUSTICE = "justice"
+
+
+@dataclass(frozen=True)
+class PropertyObligation:
+    """One verification obligation of a multi-property model."""
+
+    number: int
+    """Global obligation number (position in the scheduler's batch)."""
+
+    kind: str
+    """``bad``, ``output`` (output read as a bad signal) or ``justice``."""
+
+    index: int
+    """Property index inside its own section — the ``property_index`` /
+    ``justice_index`` engines receive."""
+
+    label: str
+    """AIGER-style short name: ``b0``, ``o1``, ``j0``, ..."""
+
+    @property
+    def is_safety(self) -> bool:
+        """True for bad/output obligations (checked by safety engines)."""
+        return self.kind in (BAD, OUTPUT)
+
+    @property
+    def is_justice(self) -> bool:
+        """True for justice obligations (checked by liveness engines)."""
+        return self.kind == JUSTICE
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return f"{self.label} ({self.kind} property {self.index})"
+
+
+def enumerate_obligations(
+    aig: AIG, use_outputs_as_bad: bool = True
+) -> List[PropertyObligation]:
+    """The flat obligation list of a model, in canonical order.
+
+    Bads win over outputs (the AIGER 1.9 ``B`` section is authoritative;
+    outputs are only read as bad signals when no bads are declared — see
+    :func:`repro.ts.system.select_bads` for the precedence warning).
+    """
+    obligations: List[PropertyObligation] = []
+    if aig.bads:
+        for index in range(len(aig.bads)):
+            obligations.append(
+                PropertyObligation(
+                    number=len(obligations), kind=BAD, index=index, label=f"b{index}"
+                )
+            )
+    elif use_outputs_as_bad:
+        for index in range(len(aig.outputs)):
+            obligations.append(
+                PropertyObligation(
+                    number=len(obligations),
+                    kind=OUTPUT,
+                    index=index,
+                    label=f"o{index}",
+                )
+            )
+    for index in range(len(aig.justice)):
+        obligations.append(
+            PropertyObligation(
+                number=len(obligations), kind=JUSTICE, index=index, label=f"j{index}"
+            )
+        )
+    return obligations

@@ -1,0 +1,105 @@
+"""Foundations shared by the liveness-to-safety and k-liveness compilers.
+
+Both transformations are circuit-to-circuit compilers in the spirit of
+the :mod:`repro.reduce` passes: they rebuild the source AIG through the
+structural-hashing builder (so monitor logic is folded and shared like
+any other logic) and then graft monitor state on top.  The
+:class:`CircuitCopy` returned by :func:`clone_circuit` keeps the
+original-to-new literal map so the compilers can refer to any original
+signal — latch outputs, justice literals, fairness constraints — in the
+new circuit's namespace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.aiger.aig import AIG, FALSE_LIT, TRUE_LIT
+
+
+class TransformError(Exception):
+    """Raised for malformed liveness transformations or unliftable witnesses."""
+
+
+@dataclass
+class CircuitCopy:
+    """A rebuilt AIG plus the literal translation from the source model."""
+
+    aig: AIG
+    lit_of: Dict[int, int]
+    """Source positive literal -> new literal (constants map to themselves)."""
+
+    def map_lit(self, lit: int) -> int:
+        """Translate any source literal (possibly negated) to the copy."""
+        mapped = self.lit_of.get(lit & ~1)
+        if mapped is None:
+            raise TransformError(f"source literal {lit} has no counterpart in the copy")
+        return mapped ^ (lit & 1)
+
+
+def clone_circuit(
+    source: AIG,
+    *,
+    copy_outputs: bool = False,
+    copy_bads: bool = False,
+    copy_constraints: bool = True,
+    comment: str = "",
+) -> CircuitCopy:
+    """Rebuild ``source`` through the builder, preserving element order.
+
+    Inputs, latches and AND gates are recreated one-to-one (modulo
+    constant folding / structural sharing of the builder), so latch
+    ``i`` of the copy corresponds to latch ``i`` of the source.  Justice
+    and fairness sections are never copied — the compilers exist to
+    translate them away — and bads/outputs are copied only on request.
+    """
+    source.validate()
+    new = AIG(comment=comment or source.comment)
+    lit_of: Dict[int, int] = {FALSE_LIT: FALSE_LIT, TRUE_LIT: TRUE_LIT}
+
+    for lit in source.inputs:
+        lit_of[lit] = new.add_input(source.input_name(lit))
+    for latch in source.latches:
+        lit_of[latch.lit] = new.add_latch(init=latch.init, name=latch.name)
+
+    def map_lit(lit: int) -> int:
+        return lit_of[lit & ~1] ^ (lit & 1)
+
+    for gate in source.ands:
+        lit_of[gate.lhs] = new.add_and(map_lit(gate.rhs0), map_lit(gate.rhs1))
+    for latch in source.latches:
+        new.set_latch_next(lit_of[latch.lit], map_lit(latch.next))
+
+    if copy_constraints:
+        for constraint in source.constraints:
+            new.add_constraint(map_lit(constraint))
+    if copy_outputs:
+        for lit in source.outputs:
+            new.add_output(map_lit(lit))
+    if copy_bads:
+        for lit in source.bads:
+            new.add_bad(map_lit(lit))
+    return CircuitCopy(aig=new, lit_of=lit_of)
+
+
+def justice_literals(aig: AIG, justice_index: int) -> List[int]:
+    """The literal set of one justice property, extended with fairness.
+
+    AIGER 1.9 fairness constraints must hold infinitely often in *any*
+    justice counterexample, so for a single property they are equivalent
+    to additional justice literals and both compilers track them the same
+    way.
+    """
+    if not aig.justice:
+        raise TransformError(
+            "the AIG declares no justice properties (nothing to compile)"
+        )
+    if not 0 <= justice_index < len(aig.justice):
+        raise TransformError(
+            f"justice index {justice_index} out of range: the AIG declares "
+            f"{len(aig.justice)} justice propert"
+            f"{'y' if len(aig.justice) == 1 else 'ies'}, valid indices are "
+            f"0..{len(aig.justice) - 1}"
+        )
+    return list(aig.justice[justice_index]) + list(aig.fairness)

@@ -1,0 +1,143 @@
+"""Independent validation of liveness witnesses.
+
+UNSAFE justice verdicts carry a :class:`~repro.core.result.LassoTrace`;
+:func:`check_lasso` replays it on the *original* AIG by pure simulation
+and checks loop closure, the recurrence of every justice literal and
+fairness constraint inside the loop, and the invariant constraints on
+every step — so a bug in a liveness engine cannot validate its own
+output.
+
+SAFE justice verdicts carry a safety certificate over the *compiled*
+circuit (liveness-to-safety or the k-liveness counter).  Both compilers
+are deterministic, so :func:`check_liveness_certificate` recompiles the
+original AIG and validates the certificate against the rebuilt circuit
+with the stock :func:`repro.core.invariant.check_certificate` oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.aiger.aig import AIG
+from repro.core.invariant import CertificateError, check_certificate
+from repro.core.result import Certificate, LassoTrace
+from repro.props.klive import kliveness
+from repro.props.l2s import liveness_to_safety
+
+
+def check_lasso(
+    aig: AIG,
+    lasso: LassoTrace,
+    justice_index: Optional[int] = None,
+) -> bool:
+    """Replay a lasso counterexample on the AIG by simulation.
+
+    State cubes are over latch *indices* (literal ``±(index + 1)`` refers
+    to latch ``index``).  The checks: the first state is an initial
+    state, every recorded state agrees with simulation, applying the last
+    step's inputs returns the system to the loop-start state, every
+    justice literal of the violated property and every fairness
+    constraint holds at some step inside the loop, and every invariant
+    constraint holds on every step.  Raises :class:`CertificateError` on
+    any failure, returns True on success.
+    """
+    index = lasso.justice_index if justice_index is None else justice_index
+    if not lasso.steps:
+        raise CertificateError("empty lasso trace")
+    if not 0 <= lasso.loop_start < len(lasso.steps):
+        raise CertificateError(
+            f"lasso loop start {lasso.loop_start} out of range for "
+            f"{len(lasso.steps)} steps"
+        )
+    if not 0 <= index < len(aig.justice):
+        raise CertificateError(
+            f"justice index {index} out of range (the AIG declares "
+            f"{len(aig.justice)} justice properties)"
+        )
+
+    # Initial state: reset values overridden by the first cube (needed
+    # for latches without a defined reset), and checked against them.
+    initial: Dict[int, bool] = {}
+    for latch in aig.latches:
+        initial[latch.lit] = bool(latch.init) if latch.init is not None else False
+    for lit in lasso.steps[0].state:
+        latch_index = abs(lit) - 1
+        if not 0 <= latch_index < len(aig.latches):
+            continue
+        latch = aig.latches[latch_index]
+        if latch.init is not None and (lit > 0) != bool(latch.init):
+            raise CertificateError("the first lasso state is not an initial state")
+        initial[latch.lit] = lit > 0
+
+    # One extra simulation step (with the loop-start inputs) exposes the
+    # state *after* the final step, which must close the loop.
+    input_sequence = lasso.input_sequence() + [
+        lasso.steps[lasso.loop_start].inputs
+    ]
+    records = aig.simulate(input_sequence, initial_latches=initial)
+
+    for step_index, (step, record) in enumerate(zip(lasso.steps, records)):
+        for lit in step.state:
+            latch_index = abs(lit) - 1
+            if not 0 <= latch_index < len(aig.latches):
+                continue
+            latch = aig.latches[latch_index]
+            if record["latches"][latch.lit] != (lit > 0):
+                raise CertificateError(
+                    f"lasso step {step_index} disagrees with simulation on "
+                    f"latch {latch_index}"
+                )
+
+    closing = records[len(lasso.steps)]["latches"]
+    reopening = records[lasso.loop_start]["latches"]
+    for latch in aig.latches:
+        if closing[latch.lit] != reopening[latch.lit]:
+            raise CertificateError(
+                f"the lasso does not close: latch {latch.lit} differs between "
+                f"the loop-start state and the state after the final step"
+            )
+
+    loop_records = records[lasso.loop_start : len(lasso.steps)]
+    for position in range(len(aig.justice[index])):
+        if not any(record["justice"][index][position] for record in loop_records):
+            raise CertificateError(
+                f"justice literal {position} of property {index} never holds "
+                f"inside the loop"
+            )
+    for position in range(len(aig.fairness)):
+        if not any(record["fairness"][position] for record in loop_records):
+            raise CertificateError(
+                f"fairness constraint {position} never holds inside the loop"
+            )
+
+    for step_index, record in enumerate(records[: len(lasso.steps)]):
+        if not all(record["constraints"]):
+            raise CertificateError(
+                f"an invariant constraint fails at lasso step {step_index}"
+            )
+    return True
+
+
+def check_liveness_certificate(
+    aig: AIG,
+    certificate: Certificate,
+    justice_index: int = 0,
+    method: str = "l2s",
+    max_k: int = 16,
+    k: int = 0,
+) -> bool:
+    """Validate a liveness proof by recompiling the deterministic circuit.
+
+    ``method`` selects the compiler the proof was produced on: ``"l2s"``
+    validates against the liveness-to-safety circuit's single bad,
+    ``"klive"`` against bad index ``k`` of the k-liveness counter circuit
+    compiled with the same ``max_k``.  Raises :class:`CertificateError`
+    (via :func:`check_certificate`) on failure.
+    """
+    if method == "l2s":
+        compiled = liveness_to_safety(aig, justice_index)
+        return check_certificate(compiled.aig, certificate, property_index=0)
+    if method == "klive":
+        compiled = kliveness(aig, justice_index, max_k=max_k)
+        return check_certificate(compiled.aig, certificate, property_index=k)
+    raise CertificateError(f"unknown liveness certificate method {method!r}")

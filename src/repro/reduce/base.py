@@ -25,7 +25,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
-from repro.aiger.aig import AIG, FALSE_LIT, TRUE_LIT
+from repro.aiger.aig import AIG, FALSE_LIT, TRUE_LIT, liveness_hint
 
 
 class ReductionError(Exception):
@@ -125,6 +125,11 @@ def selected_bads(aig: AIG) -> List[int]:
     return list(aig.bads) if aig.bads else list(aig.outputs)
 
 
+def no_properties_message(aig: AIG) -> str:
+    """Error text for models without safety properties (justice-aware)."""
+    return "the AIG declares neither bad states nor outputs" + liveness_hint(aig)
+
+
 @dataclass
 class RebuildResult:
     """Output of :func:`rebuild_aig`."""
@@ -159,7 +164,7 @@ def rebuild_aig(
     replace = dict(replace or {})
     bads = selected_bads(source)
     if not bads:
-        raise ReductionError("the AIG declares neither bad states nor outputs")
+        raise ReductionError(no_properties_message(source))
     if not 0 <= property_index < len(bads):
         raise ReductionError(f"property index {property_index} out of range")
     emitted_bads = [bads[property_index]] if only_property else bads

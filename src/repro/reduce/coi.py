@@ -24,6 +24,7 @@ from repro.reduce.base import (
     PassResult,
     ReductionPass,
     make_info,
+    no_properties_message,
     rebuild_aig,
     selected_bads,
 )
@@ -39,7 +40,7 @@ def coi_variables(aig: AIG, property_index: int = 0) -> Set[int]:
     aig.validate()
     bads = selected_bads(aig)
     if not bads:
-        raise ValueError("the AIG declares neither bad states nor outputs")
+        raise ValueError(no_properties_message(aig))
     if not 0 <= property_index < len(bads):
         raise ValueError(f"property index {property_index} out of range")
 

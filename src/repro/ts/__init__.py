@@ -8,13 +8,20 @@ cube and the bad-state (negated property) literal.  It also provides the
 time-frame unroller used by BMC and k-induction.
 """
 
-from repro.ts.system import TransitionSystem, EncodingError
+from repro.ts.system import (
+    EncodingError,
+    PropertySelectionWarning,
+    TransitionSystem,
+    select_bads,
+)
 from repro.ts.unroll import Unroller
 from repro.ts.coi import CoiInfo, coi_variables, reduce_to_coi
 
 __all__ = [
     "TransitionSystem",
     "EncodingError",
+    "PropertySelectionWarning",
+    "select_bads",
     "Unroller",
     "CoiInfo",
     "coi_variables",

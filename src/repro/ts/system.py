@@ -16,9 +16,10 @@ used to validate invariant certificates and counterexample traces.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List
 
-from repro.aiger.aig import AIG, FALSE_LIT, TRUE_LIT
+from repro.aiger.aig import AIG, FALSE_LIT, TRUE_LIT, liveness_hint
 from repro.logic.cnf import CNF
 from repro.logic.cube import Clause, Cube
 
@@ -27,20 +28,68 @@ class EncodingError(Exception):
     """Raised when an AIG cannot be encoded (e.g. no bad/output literal)."""
 
 
+class PropertySelectionWarning(UserWarning):
+    """The AIG declares both bads and outputs; the bad list took precedence."""
+
+
+def select_bads(
+    aig: AIG, use_outputs_as_bad: bool = True, warn_on_ambiguity: bool = True
+) -> List[int]:
+    """The safety-property literals of an AIG, with documented precedence.
+
+    AIGER 1.9 ``B``-section bads always win; the pre-1.9 convention of
+    reading outputs as bad signals is only applied when the AIG declares
+    no bads at all.  When *both* sections are present (and the fallback is
+    enabled) a :class:`PropertySelectionWarning` is emitted, because the
+    outputs are then silently ignored as properties.  The warning fires
+    once per AIG object — engines, validators and lift-back machinery
+    re-encode the same model many times and would otherwise repeat it.
+    """
+    if aig.bads:
+        if (
+            aig.outputs
+            and use_outputs_as_bad
+            and warn_on_ambiguity
+            and not getattr(aig, "_ambiguity_warned", False)
+        ):
+            aig._ambiguity_warned = True
+            warnings.warn(
+                f"the AIG declares both {len(aig.bads)} bad propert"
+                f"{'y' if len(aig.bads) == 1 else 'ies'} and {len(aig.outputs)} "
+                f"output(s); the bads take precedence and the outputs are not "
+                f"checked (pass use_outputs_as_bad=False to silence this)",
+                PropertySelectionWarning,
+                stacklevel=3,
+            )
+        return list(aig.bads)
+    if use_outputs_as_bad:
+        return list(aig.outputs)
+    return []
+
+
 class TransitionSystem:
     """Boolean transition system ⟨X, Y, I, T⟩ derived from an AIG."""
 
-    def __init__(self, aig: AIG, property_index: int = 0, use_outputs_as_bad: bool = True):
+    def __init__(
+        self,
+        aig: AIG,
+        property_index: int = 0,
+        use_outputs_as_bad: bool = True,
+        warn_on_ambiguity: bool = True,
+    ):
         aig.validate()
         self.aig = aig
-        bads = list(aig.bads)
-        if not bads and use_outputs_as_bad:
-            bads = list(aig.outputs)
+        bads = select_bads(aig, use_outputs_as_bad, warn_on_ambiguity)
         if not bads:
-            raise EncodingError("the AIG declares neither bad states nor outputs")
-        if not 0 <= property_index < len(bads):
             raise EncodingError(
-                f"property index {property_index} out of range (have {len(bads)})"
+                "the AIG declares neither bad states nor outputs" + liveness_hint(aig)
+            )
+        if not 0 <= property_index < len(bads):
+            source = "bad properties" if aig.bads else "outputs (read as bads)"
+            raise EncodingError(
+                f"property index {property_index} out of range: the AIG declares "
+                f"{len(bads)} {source}, valid indices are 0..{len(bads) - 1}"
+                + liveness_hint(aig)
             )
         self._bad_aig_lit = bads[property_index]
 

@@ -1,0 +1,106 @@
+"""The liveness benchmark families: structure and ground truth."""
+
+import pytest
+
+from repro.benchgen.liveness import (
+    arbiter_live,
+    handshake_live,
+    mixed_properties,
+    token_ring_live,
+)
+from repro.benchgen.suite import liveness_suite
+from repro.core.result import CheckResult
+from repro.props import enumerate_obligations
+
+pytestmark = pytest.mark.liveness
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("safe", [True, False])
+    def test_token_ring_declares_one_justice_property(self, safe):
+        case = token_ring_live(3, safe=safe)
+        case.aig.validate()
+        assert len(case.aig.justice) == 1
+        assert case.aig.bads == []
+        assert case.expected == (CheckResult.SAFE if safe else CheckResult.UNSAFE)
+
+    def test_arbiter_has_fairness(self):
+        case = arbiter_live(3, safe=True)
+        assert len(case.aig.fairness) == 1
+        assert len(case.aig.justice) == 1
+
+    def test_handshake_cycles_through_done(self):
+        case = handshake_live(safe=True)
+        s0, s1 = case.aig.latches[0].lit, case.aig.latches[1].lit
+        records = case.aig.simulate([{} for _ in range(8)])
+        done_steps = [
+            index
+            for index, record in enumerate(records)
+            if record["latches"][s0] and record["latches"][s1]
+        ]
+        assert done_steps == [3, 7]  # IDLE->REQ->ACK->DONE, period 4
+
+    def test_buggy_handshake_can_livelock(self):
+        case = handshake_live(safe=False)
+        retry = case.aig.inputs[0]
+        s0, s1 = case.aig.latches[0].lit, case.aig.latches[1].lit
+        records = case.aig.simulate([{retry: True} for _ in range(8)])
+        # With retry held high DONE (11) is never reached.
+        assert not any(
+            record["latches"][s0] and record["latches"][s1] for record in records
+        )
+
+    def test_mixed_properties_shape(self):
+        case = mixed_properties(3)
+        obligations = enumerate_obligations(case.aig)
+        assert [ob.kind for ob in obligations] == ["bad", "bad", "justice"]
+        assert case.expected_properties == [
+            CheckResult.SAFE,
+            CheckResult.UNSAFE,
+            CheckResult.SAFE,
+        ]
+        assert case.expected == CheckResult.UNSAFE
+
+    def test_monitor_constraint_is_vacuous_before_jump(self):
+        # With jump held low the monitor never restricts the circuit.
+        case = token_ring_live(3, safe=True)
+        records = case.aig.simulate([{} for _ in range(9)])
+        for record in records:
+            assert all(record["constraints"])
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            token_ring_live(1)
+        with pytest.raises(ValueError):
+            arbiter_live(1)
+        with pytest.raises(ValueError):
+            mixed_properties(1)
+
+
+class TestSuite:
+    def test_unique_names_and_expectations(self):
+        cases = liveness_suite()
+        names = [case.name for case in cases]
+        assert len(names) == len(set(names))
+        for case in cases:
+            assert case.expected is not None
+            assert case.expected_properties is not None
+            obligations = enumerate_obligations(case.aig)
+            assert len(obligations) == len(case.expected_properties)
+
+    def test_suite_mixes_safe_and_buggy(self):
+        cases = liveness_suite()
+        expected = {case.expected for case in cases}
+        assert expected == {CheckResult.SAFE, CheckResult.UNSAFE}
+
+    def test_roundtrips_through_aiger(self):
+        from repro.aiger.parser import parse_aiger
+        from repro.aiger.writer import to_aag_string, to_aig_bytes
+
+        for case in liveness_suite():
+            ascii_again = parse_aiger(to_aag_string(case.aig))
+            binary_again = parse_aiger(to_aig_bytes(case.aig))
+            assert len(ascii_again.justice) == len(case.aig.justice)
+            assert len(binary_again.justice) == len(case.aig.justice)
+            assert len(ascii_again.fairness) == len(case.aig.fairness)
+            assert len(binary_again.fairness) == len(case.aig.fairness)

@@ -74,7 +74,7 @@ class TestManifestDeterminism:
 
     def test_substrate_stats_present_and_deterministic(self):
         manifest = _manifest(jobs=4)
-        assert manifest["schema"] == MANIFEST_SCHEMA == "repro-check/manifest/v3"
+        assert manifest["schema"] == MANIFEST_SCHEMA == "repro-check/manifest/v4"
         for result in manifest["results"]:
             stats = result["stats"]
             for field in (

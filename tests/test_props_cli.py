@@ -1,0 +1,148 @@
+"""CLI surface of the multi-property & liveness subsystem.
+
+Includes the subsystem's acceptance scenario: ``repro-check check
+--all-properties`` on an AIGER 1.9 file with mixed safe/unsafe bads and a
+justice property returns one validated verdict per property in a single
+run.
+"""
+
+import json
+
+import pytest
+
+from repro.aiger import write_aag, write_aig
+from repro.benchgen.liveness import mixed_properties, token_ring_live
+from repro.cli import build_parser, main
+
+pytestmark = pytest.mark.liveness
+
+
+@pytest.fixture()
+def mixed_model(tmp_path):
+    path = tmp_path / "mixed.aag"
+    write_aag(mixed_properties(3).aig, path)
+    return str(path)
+
+
+@pytest.fixture()
+def mixed_model_binary(tmp_path):
+    path = tmp_path / "mixed.aig"
+    write_aig(mixed_properties(3).aig, path)
+    return str(path)
+
+
+@pytest.fixture()
+def live_safe_model(tmp_path):
+    path = tmp_path / "livering_safe.aag"
+    write_aag(token_ring_live(3, safe=True).aig, path)
+    return str(path)
+
+
+@pytest.fixture()
+def live_buggy_model(tmp_path):
+    path = tmp_path / "livering_buggy.aag"
+    write_aag(token_ring_live(3, safe=False).aig, path)
+    return str(path)
+
+
+class TestParserFlags:
+    def test_all_properties_flag(self):
+        args = build_parser().parse_args(["check", "m.aag", "--all-properties"])
+        assert args.all_properties is True
+        assert args.property is None
+
+    def test_property_selection_flag(self):
+        args = build_parser().parse_args(["check", "m.aag", "--property", "2"])
+        assert args.property == 2
+
+    def test_liveness_suite_choice(self):
+        args = build_parser().parse_args(["evaluate", "--suite", "liveness"])
+        assert args.suite == "liveness"
+
+    def test_liveness_engines_are_choices(self):
+        for engine in ("l2s", "klive"):
+            args = build_parser().parse_args(["check", "m.aag", "--engine", engine])
+            assert args.engine == engine
+
+
+class TestAllProperties:
+    def test_acceptance_scenario_one_run_all_verdicts(self, mixed_model, capsys):
+        # Mixed safe/unsafe bads + one justice property, single run.
+        assert main(["check", mixed_model, "--all-properties", "--max-k", "8"]) == 1
+        out = capsys.readouterr().out
+        assert out.count("safe") >= 2  # b0 and j0 prove
+        assert "unsafe" in out  # b1 refuted
+        assert "justice" in out
+        assert "aggregate: unsafe" in out
+        assert "WARNING" not in out  # every witness validated
+
+    def test_acceptance_scenario_binary_input(self, mixed_model_binary, capsys):
+        assert main(
+            ["check", mixed_model_binary, "--all-properties", "--max-k", "8"]
+        ) == 1
+        assert "aggregate: unsafe" in capsys.readouterr().out
+
+    def test_single_property_selection(self, mixed_model, capsys):
+        assert main(["check", mixed_model, "--property", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "b0" in out and "aggregate: safe" in out
+
+    def test_unknown_property_number(self, mixed_model, capsys):
+        assert main(["check", mixed_model, "--property", "7"]) == 2
+        assert "available" in capsys.readouterr().out
+
+
+class TestLivenessEngines:
+    def test_klive_proves_safe_ring(self, live_safe_model, capsys):
+        assert main(
+            ["check", live_safe_model, "--engine", "klive", "--max-k", "8"]
+        ) == 0
+        assert "safe" in capsys.readouterr().out
+
+    def test_l2s_refutes_buggy_ring_with_lasso(self, live_buggy_model, capsys):
+        assert main(["check", live_buggy_model, "--engine", "l2s"]) == 1
+        out = capsys.readouterr().out
+        assert "lasso" in out
+
+    def test_safety_engine_gives_helpful_error_on_justice_only(
+        self, live_safe_model, capsys
+    ):
+        with pytest.raises(Exception) as excinfo:
+            main(["check", live_safe_model, "--engine", "ic3"])
+        message = str(excinfo.value)
+        assert "justice" in message and "l2s" in message
+
+
+class TestLivenessEvaluate:
+    def test_liveness_suite_smoke(self, capsys, monkeypatch, tmp_path):
+        import repro.cli as cli
+        from repro.benchgen.liveness import handshake_live
+
+        monkeypatch.setattr(
+            cli,
+            "liveness_suite",
+            lambda: [handshake_live(safe=True), mixed_properties(3)],
+        )
+        output = tmp_path / "live.json"
+        assert main(
+            [
+                "evaluate",
+                "--suite",
+                "liveness",
+                "--timeout",
+                "30",
+                "--output",
+                str(output),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "j0" in out and "b1" in out
+        manifest = json.loads(output.read_text())
+        assert manifest["schema"] == "repro-check/manifest/v4"
+        mixed = [r for r in manifest["results"] if r["case"] == "livemix_n3"][0]
+        assert [p["result"] for p in mixed["properties"]] == [
+            "safe",
+            "unsafe",
+            "safe",
+        ]
+        assert all(p["validated"] for p in mixed["properties"])

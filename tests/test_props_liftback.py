@@ -1,0 +1,130 @@
+"""Witness lift-back composition: reduction passes + liveness stacked.
+
+The liveness engines hand the *compiled* circuit to an inner engine that
+runs the full :mod:`repro.reduce` pipeline, so a witness crosses two
+lift-back layers: reduction recon (reduced -> compiled model) and the
+liveness transformation (compiled -> original lasso / certificate).
+These tests pin the composed result down against the stock oracles on
+the ORIGINAL model.
+"""
+
+import pytest
+
+from repro.benchgen.liveness import mixed_properties, token_ring_live
+from repro.core.invariant import check_certificate, check_counterexample
+from repro.core.result import CheckResult
+from repro.engines import create_engine
+from repro.props import (
+    PropertyScheduler,
+    check_lasso,
+    check_liveness_certificate,
+    liveness_to_safety,
+)
+
+pytestmark = pytest.mark.liveness
+
+
+class TestLassoThroughReduction:
+    @pytest.mark.parametrize("reduce", [True, False])
+    def test_lifted_lasso_validates_on_original(self, reduce):
+        case = token_ring_live(4, safe=False)
+        outcome = create_engine(
+            "l2s", case.aig, inner="bmc", reduce=reduce
+        ).check(time_limit=60)
+        assert outcome.result == CheckResult.UNSAFE
+        assert check_lasso(case.aig, outcome.lasso)
+
+    def test_reduced_and_unreduced_lassos_agree_on_validity(self):
+        case = token_ring_live(3, safe=False)
+        with_reduce = create_engine("l2s", case.aig, inner="bmc").check(time_limit=60)
+        without = create_engine(
+            "l2s", case.aig, inner="bmc", reduce=False
+        ).check(time_limit=60)
+        assert check_lasso(case.aig, with_reduce.lasso)
+        assert check_lasso(case.aig, without.lasso)
+
+    def test_explicit_pass_selection_composes(self):
+        case = token_ring_live(3, safe=False)
+        outcome = create_engine(
+            "l2s", case.aig, inner="bmc", passes=["coi", "ternary", "coi"]
+        ).check(time_limit=60)
+        assert outcome.result == CheckResult.UNSAFE
+        assert check_lasso(case.aig, outcome.lasso)
+
+
+class TestCertificateThroughReduction:
+    @pytest.mark.parametrize("reduce", [True, False])
+    def test_l2s_certificate_validates_via_recompilation(self, reduce):
+        case = token_ring_live(3, safe=True)
+        outcome = create_engine("l2s", case.aig, reduce=reduce).check(time_limit=60)
+        assert outcome.result == CheckResult.SAFE
+        # The certificate must be inductive on the deterministically
+        # recompiled circuit — i.e. the reduction lift-back restored the
+        # compiled model's variable numbering exactly.
+        assert check_liveness_certificate(
+            case.aig, outcome.certificate, justice_index=0, method="l2s"
+        )
+
+    @pytest.mark.parametrize("reduce", [True, False])
+    def test_klive_certificate_validates_via_recompilation(self, reduce):
+        case = token_ring_live(3, safe=True)
+        outcome = create_engine(
+            "klive", case.aig, max_k=8, reduce=reduce
+        ).check(time_limit=120)
+        assert outcome.result == CheckResult.SAFE
+        assert check_liveness_certificate(
+            case.aig,
+            outcome.certificate,
+            justice_index=0,
+            method="klive",
+            max_k=8,
+            k=outcome.transformation["k"],
+        )
+
+
+class TestSafetyWitnessesInTheSameBatch:
+    """Safety obligations of a mixed model validate on the original AIG
+    with the unchanged stock oracles, reduction included."""
+
+    def test_safety_trace_and_certificate_on_original(self):
+        case = mixed_properties(4)
+        safe_outcome = create_engine(
+            "ic3-pl", case.aig, property_index=0
+        ).check(time_limit=60)
+        assert safe_outcome.result == CheckResult.SAFE
+        assert check_certificate(case.aig, safe_outcome.certificate, property_index=0)
+
+        unsafe_outcome = create_engine(
+            "bmc", case.aig, property_index=1
+        ).check(time_limit=60)
+        assert unsafe_outcome.result == CheckResult.UNSAFE
+        assert check_counterexample(case.aig, unsafe_outcome.trace, property_index=1)
+
+    def test_scheduler_batch_is_fully_validated(self):
+        case = mixed_properties(4)
+        result = PropertyScheduler(case.aig, max_k=8).run(time_limit=120)
+        assert [v.result for v in result.verdicts] == case.expected_properties
+        # Every SAFE verdict's certificate and every UNSAFE verdict's
+        # trace/lasso was checked against the original model.
+        for verdict in result.verdicts:
+            assert verdict.validated is True
+
+
+class TestL2SLiftDetails:
+    def test_loop_start_matches_save_oracle(self):
+        case = token_ring_live(3, safe=False)
+        compiled = liveness_to_safety(case.aig, 0)
+        outcome = create_engine("bmc", compiled.aig, reduce=False).check(time_limit=60)
+        assert outcome.result == CheckResult.UNSAFE
+        lasso = compiled.lift_trace(outcome.trace)
+        saves = [
+            step.inputs.get(compiled.save_lit, False) for step in outcome.trace.steps
+        ]
+        assert lasso.loop_start == saves.index(True)
+        assert len(lasso.steps) == len(outcome.trace.steps) - 1
+
+    def test_lasso_inputs_speak_original_literals(self):
+        case = token_ring_live(3, safe=False)
+        outcome = create_engine("l2s", case.aig, inner="bmc").check(time_limit=60)
+        for step in outcome.lasso.steps:
+            assert set(step.inputs) == set(case.aig.inputs)

@@ -1,0 +1,174 @@
+"""Liveness engines: l2s and k-liveness compile, prove, refute, lift."""
+
+import pytest
+
+from repro.benchgen.liveness import (
+    arbiter_live,
+    handshake_live,
+    token_ring_live,
+)
+from repro.core.invariant import CertificateError, check_certificate
+from repro.core.result import CheckResult
+from repro.engines import create_engine
+from repro.props import (
+    TransformError,
+    check_lasso,
+    check_liveness_certificate,
+    kliveness,
+    liveness_to_safety,
+)
+
+pytestmark = pytest.mark.liveness
+
+
+class TestL2SCompiler:
+    def test_compiled_circuit_shape(self):
+        case = token_ring_live(3, safe=True)
+        result = liveness_to_safety(case.aig, 0)
+        assert len(result.aig.bads) == 1
+        assert result.aig.num_inputs == case.aig.num_inputs + 1  # + save oracle
+        # saved + one shadow per original latch + one seen per tracked literal
+        assert result.aux_latches == 1 + case.aig.num_latches + result.num_tracked
+        assert result.aig.justice == []  # compiled away
+
+    def test_rejects_missing_justice(self):
+        case = token_ring_live(3, safe=True)
+        with pytest.raises(TransformError):
+            liveness_to_safety(case.aig, 5)
+
+    def test_fairness_is_tracked(self):
+        case = arbiter_live(2, safe=True)
+        result = liveness_to_safety(case.aig, 0)
+        assert result.num_tracked == len(case.aig.justice[0]) + len(case.aig.fairness)
+
+
+class TestL2SEngine:
+    @pytest.mark.parametrize("inner", ["ic3-pl", "bmc"])
+    def test_refutes_buggy_ring_with_lifted_lasso(self, inner):
+        case = token_ring_live(3, safe=False)
+        outcome = create_engine("l2s", case.aig, inner=inner).check(time_limit=60)
+        assert outcome.result == CheckResult.UNSAFE
+        assert outcome.trace is None  # the raw safety trace is not exposed
+        assert outcome.lasso is not None
+        assert outcome.lasso.loop_length >= 1
+        assert check_lasso(case.aig, outcome.lasso)
+
+    def test_proves_safe_ring(self):
+        case = token_ring_live(3, safe=True)
+        outcome = create_engine("l2s", case.aig).check(time_limit=60)
+        assert outcome.result == CheckResult.SAFE
+        assert outcome.certificate is not None
+        assert check_liveness_certificate(
+            case.aig, outcome.certificate, justice_index=0, method="l2s"
+        )
+
+    def test_transformation_summary_recorded(self):
+        case = handshake_live(safe=True)
+        outcome = create_engine("l2s", case.aig).check(time_limit=60)
+        assert outcome.transformation["kind"] == "l2s"
+        assert outcome.transformation["inner"] == "ic3-pl"
+
+    def test_works_without_reduction(self):
+        case = token_ring_live(3, safe=False)
+        outcome = create_engine("l2s", case.aig, reduce=False).check(time_limit=60)
+        assert outcome.result == CheckResult.UNSAFE
+        assert check_lasso(case.aig, outcome.lasso)
+
+    def test_lasso_validation_rejects_corruption(self):
+        case = token_ring_live(3, safe=False)
+        outcome = create_engine("l2s", case.aig).check(time_limit=60)
+        lasso = outcome.lasso
+        # A loop from step 0 cannot close: the monitor latch is 0 at reset
+        # but must be 1 inside the loop, and it is absorbing.
+        lasso.loop_start = 0
+        with pytest.raises(CertificateError):
+            check_lasso(case.aig, lasso)
+
+
+class TestKLivenessCompiler:
+    def test_bad_per_bound(self):
+        case = token_ring_live(3, safe=True)
+        compiled = kliveness(case.aig, 0, max_k=5)
+        assert len(compiled.aig.bads) == 6
+        assert compiled.aig.justice == []
+
+    def test_counter_width_scales_with_bound(self):
+        case = token_ring_live(3, safe=True)
+        small = kliveness(case.aig, 0, max_k=1)
+        large = kliveness(case.aig, 0, max_k=40)
+        assert large.counter_bits > small.counter_bits
+
+
+class TestKLivenessEngine:
+    @pytest.mark.parametrize(
+        "case_factory",
+        [
+            lambda: token_ring_live(3, safe=True),
+            lambda: token_ring_live(4, safe=True),
+            lambda: arbiter_live(2, safe=True),
+            lambda: handshake_live(safe=True),
+        ],
+    )
+    def test_proves_safe_families(self, case_factory):
+        case = case_factory()
+        outcome = create_engine("klive", case.aig, max_k=12).check(time_limit=120)
+        assert outcome.result == CheckResult.SAFE
+        k = outcome.transformation["k"]
+        assert 0 <= k <= 12
+        assert check_liveness_certificate(
+            case.aig,
+            outcome.certificate,
+            justice_index=0,
+            method="klive",
+            max_k=12,
+            k=k,
+        )
+
+    def test_cannot_refute_returns_unknown(self):
+        case = token_ring_live(3, safe=False)
+        outcome = create_engine("klive", case.aig, max_k=2).check(time_limit=60)
+        assert outcome.result == CheckResult.UNKNOWN
+        assert "exhausted" in outcome.reason
+
+    def test_certificate_fails_on_tighter_bound(self):
+        # The proof of "at most k ticks" cannot double as a proof of
+        # "at most k-1 ticks": count == k is genuinely reachable.
+        case = token_ring_live(3, safe=True)
+        outcome = create_engine("klive", case.aig, max_k=12).check(time_limit=120)
+        k = outcome.transformation["k"]
+        assert k >= 1  # k = 0 is refuted on this family (one tick happens)
+        with pytest.raises(CertificateError):
+            check_liveness_certificate(
+                case.aig,
+                outcome.certificate,
+                justice_index=0,
+                method="klive",
+                max_k=12,
+                k=k - 1,
+            )
+
+
+class TestConstrainedSafetySoundness:
+    """The liveness monitors exposed an IC3+constraints trace bug; keep it dead."""
+
+    def test_ic3_traces_respect_constraints(self):
+        # On the buggy ring's l2s circuit IC3 must produce a constraint-
+        # respecting counterexample (validated by simulation).
+        case = token_ring_live(3, safe=False)
+        compiled = liveness_to_safety(case.aig, 0)
+        from repro.core.ic3 import IC3
+        from repro.core.invariant import check_counterexample
+
+        outcome = IC3(compiled.aig).check(time_limit=60)
+        assert outcome.result == CheckResult.UNSAFE
+        assert check_counterexample(compiled.aig, outcome.trace)
+
+    def test_ic3_does_not_fabricate_counterexamples(self):
+        # The safe ring's l2s circuit has no constrained path to bad.
+        case = token_ring_live(3, safe=True)
+        compiled = liveness_to_safety(case.aig, 0)
+        from repro.core.ic3 import IC3
+
+        outcome = IC3(compiled.aig).check(time_limit=60)
+        assert outcome.result == CheckResult.SAFE
+        assert check_certificate(compiled.aig, outcome.certificate)

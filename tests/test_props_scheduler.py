@@ -1,0 +1,150 @@
+"""The multi-property scheduler: obligations, sharing, verdicts, engine."""
+
+import pytest
+
+from repro.aiger.aig import AIG, FALSE_LIT
+from repro.benchgen.liveness import mixed_properties, token_ring_live
+from repro.core.result import CheckResult
+from repro.engines import available_engines, create_engine
+from repro.props import (
+    PropertyScheduler,
+    SchedulerError,
+    enumerate_obligations,
+)
+
+pytestmark = pytest.mark.liveness
+
+
+def _one_hot_ring_multi(size=5):
+    """A ring with three SAFE bads over the same cone (for lemma sharing)."""
+    aig = AIG()
+    stages = [aig.add_latch(init=1 if i == 0 else 0) for i in range(size)]
+    for index, stage in enumerate(stages):
+        aig.set_latch_next(stage, stages[(index - 1) % size])
+    collision = FALSE_LIT
+    for i in range(size):
+        for j in range(i + 1, size):
+            collision = aig.or_gate(collision, aig.add_and(stages[i], stages[j]))
+    aig.add_bad(collision)
+    aig.add_bad(aig.and_many([stages[0], stages[2]]))
+    aig.add_bad(aig.and_many([stages[1], stages[3]]))
+    aig.validate()
+    return aig
+
+
+class TestObligations:
+    def test_bads_then_justice(self):
+        case = mixed_properties(3)
+        obligations = enumerate_obligations(case.aig)
+        assert [ob.label for ob in obligations] == ["b0", "b1", "j0"]
+        assert [ob.kind for ob in obligations] == ["bad", "bad", "justice"]
+        assert [ob.number for ob in obligations] == [0, 1, 2]
+
+    def test_outputs_fall_back_when_no_bads(self):
+        aig = AIG()
+        x = aig.add_latch(init=0)
+        aig.set_latch_next(x, x)
+        aig.add_output(x)
+        obligations = enumerate_obligations(aig)
+        assert [ob.label for ob in obligations] == ["o0"]
+
+    def test_bads_win_over_outputs(self):
+        aig = AIG()
+        x = aig.add_latch(init=0)
+        aig.set_latch_next(x, x)
+        aig.add_output(x)
+        aig.add_bad(x)
+        obligations = enumerate_obligations(aig)
+        assert [ob.label for ob in obligations] == ["b0"]
+
+
+class TestScheduler:
+    def test_mixed_model_one_verdict_per_property(self):
+        case = mixed_properties(3)
+        result = PropertyScheduler(case.aig, max_k=8).run(time_limit=120)
+        assert [v.result for v in result.verdicts] == case.expected_properties
+        assert result.aggregate == CheckResult.UNSAFE
+        assert result.all_validated
+
+    def test_shared_bmc_resolves_shallow_unsafe(self):
+        case = mixed_properties(3)
+        result = PropertyScheduler(case.aig, max_k=8).run(time_limit=120)
+        unsafe = [v for v in result.verdicts if v.result == CheckResult.UNSAFE]
+        assert unsafe and unsafe[0].engine == "bmc(shared)"
+        assert result.shared_bmc_queries > 0
+
+    def test_lemma_sharing_between_cone_siblings(self):
+        result = PropertyScheduler(_one_hot_ring_multi()).run(time_limit=120)
+        assert all(v.result == CheckResult.SAFE for v in result.verdicts)
+        assert result.shared_lemmas_pooled > 0
+        # At least one sibling consumed pooled invariants as free lemmas.
+        assert any(v.shared_lemmas_applied > 0 for v in result.verdicts)
+
+    def test_sharing_can_be_disabled(self):
+        result = PropertyScheduler(
+            _one_hot_ring_multi(), share_lemmas=False, share_unrollings=False
+        ).run(time_limit=120)
+        assert all(v.result == CheckResult.SAFE for v in result.verdicts)
+        assert result.shared_bmc_queries == 0
+        assert all(v.shared_lemmas_applied == 0 for v in result.verdicts)
+
+    def test_property_selection(self):
+        case = mixed_properties(3)
+        result = PropertyScheduler(case.aig, properties=[1]).run(time_limit=60)
+        assert len(result.verdicts) == 1
+        assert result.verdicts[0].obligation.label == "b1"
+        assert result.verdicts[0].result == CheckResult.UNSAFE
+
+    def test_unknown_property_number_rejected(self):
+        case = mixed_properties(3)
+        with pytest.raises(SchedulerError) as excinfo:
+            PropertyScheduler(case.aig, properties=[9])
+        assert "b0" in str(excinfo.value)  # the error lists what exists
+
+    def test_no_properties_rejected(self):
+        aig = AIG()
+        x = aig.add_latch(init=0)
+        aig.set_latch_next(x, x)
+        with pytest.raises(SchedulerError):
+            PropertyScheduler(aig)
+
+    def test_verdict_records_are_serializable(self):
+        import json
+
+        case = mixed_properties(3)
+        result = PropertyScheduler(case.aig, max_k=8).run(time_limit=120)
+        payload = json.dumps(result.as_dict())
+        assert '"aggregate": "unsafe"' in payload
+
+    def test_justice_only_model(self):
+        case = token_ring_live(3, safe=True)
+        result = PropertyScheduler(case.aig, max_k=8).run(time_limit=120)
+        assert len(result.verdicts) == 1
+        assert result.verdicts[0].result == CheckResult.SAFE
+        assert result.aggregate == CheckResult.SAFE
+
+
+class TestSchedulerEngine:
+    def test_registered(self):
+        assert "scheduler" in available_engines()
+
+    def test_outcome_carries_property_records(self):
+        case = mixed_properties(3)
+        engine = create_engine("scheduler", case.aig, max_k=8)
+        outcome = engine.check(time_limit=120)
+        assert outcome.result == CheckResult.UNSAFE
+        assert outcome.engine == "scheduler"
+        assert [p["result"] for p in outcome.properties] == [
+            "safe",
+            "unsafe",
+            "safe",
+        ]
+        assert all(p["validated"] is not False for p in outcome.properties)
+
+    def test_property_index_selects_single_obligation(self):
+        case = mixed_properties(3)
+        outcome = create_engine(
+            "scheduler", case.aig, property_index=0
+        ).check(time_limit=60)
+        assert outcome.result == CheckResult.SAFE
+        assert len(outcome.properties) == 1

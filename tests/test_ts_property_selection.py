@@ -1,0 +1,88 @@
+"""Property selection semantics of the transition system (AIGER 1.9).
+
+Bads take precedence over outputs (with a warning when both exist), and
+property-index errors name what the model actually declares.
+"""
+
+import warnings
+
+import pytest
+
+from repro.aiger.aig import AIG
+from repro.ts.system import (
+    EncodingError,
+    PropertySelectionWarning,
+    TransitionSystem,
+    select_bads,
+)
+
+
+def _model(bads=0, outputs=0, justice=0):
+    aig = AIG()
+    x = aig.add_latch(init=0)
+    aig.set_latch_next(x, aig.negate(x))
+    for _ in range(bads):
+        aig.add_bad(x)
+    for _ in range(outputs):
+        aig.add_output(x)
+    for _ in range(justice):
+        aig.add_justice([x])
+    return aig
+
+
+class TestPrecedence:
+    def test_warns_when_both_bads_and_outputs(self):
+        with pytest.warns(PropertySelectionWarning):
+            select_bads(_model(bads=1, outputs=2))
+
+    def test_bads_win(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", PropertySelectionWarning)
+            aig = _model(bads=2, outputs=3)
+            assert select_bads(aig) == aig.bads
+
+    def test_no_warning_without_ambiguity(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", PropertySelectionWarning)
+            select_bads(_model(bads=1))
+            select_bads(_model(outputs=1))
+
+    def test_no_warning_when_fallback_disabled(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", PropertySelectionWarning)
+            assert select_bads(
+                _model(bads=1, outputs=1), use_outputs_as_bad=False
+            ) == _model(bads=1).bads
+
+    def test_transition_system_warning_can_be_opted_out(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", PropertySelectionWarning)
+            TransitionSystem(_model(bads=1, outputs=1), warn_on_ambiguity=False)
+
+
+class TestPropertyIndexErrors:
+    def test_error_lists_declared_count_and_valid_range(self):
+        with pytest.raises(EncodingError) as excinfo:
+            TransitionSystem(_model(bads=2), property_index=5)
+        message = str(excinfo.value)
+        assert "2 bad properties" in message
+        assert "0..1" in message
+
+    def test_error_mentions_output_fallback(self):
+        with pytest.raises(EncodingError) as excinfo:
+            TransitionSystem(_model(outputs=1), property_index=3)
+        assert "outputs (read as bads)" in str(excinfo.value)
+
+    def test_justice_hint_on_no_safety_properties(self):
+        with pytest.raises(EncodingError) as excinfo:
+            TransitionSystem(_model(justice=1))
+        message = str(excinfo.value)
+        assert "justice" in message
+        assert "l2s" in message
+
+    def test_justice_hint_on_out_of_range_index(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", PropertySelectionWarning)
+            with pytest.raises(EncodingError) as excinfo:
+                TransitionSystem(_model(bads=1, justice=2), property_index=4)
+        assert "2 justice properties" in str(excinfo.value)
