@@ -1,0 +1,265 @@
+"""Default vs flat-arena SAT backend comparison (the BENCH harness).
+
+Runs IC3 on a benchmark suite twice — once per SAT backend — and
+reports, per case and in total: wall time, SAT time, verdicts (which
+must not drift), and the kernel memory-system counters of manifest
+schema v5 (watch-list traversals, blocker hits, literal-pool bytes,
+arena compactions, lazily removed clauses).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/backend_compare.py \
+        --suite bench --repeat 3 --output BENCH_6.json --min-speedup 1.25
+
+    PYTHONPATH=src python benchmarks/backend_compare.py \
+        --suite quick --baseline BENCH_6.json --max-slowdown 1.5
+
+Exit status is non-zero when the two backends disagree on any verdict,
+when ``--min-speedup`` is given and the arena backend's total SAT time
+is not at least that factor below the default backend's, or when
+``--baseline``/``--max-slowdown`` are given and this run's arena
+speedup ratio regressed beyond the threshold relative to the committed
+snapshot (ratios of ratios, so the gate is machine-independent).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.benchgen.suite import (
+    bench_suite,
+    default_suite,
+    extended_suite,
+    quick_suite,
+)
+from repro.core import IC3, IC3Options
+from repro.reduce import reduce_aig
+
+SUITES = {
+    "quick": quick_suite,
+    "bench": bench_suite,
+    "default": default_suite,
+    "extended": extended_suite,
+}
+
+BACKENDS = ("default", "arena")
+
+BENCH_SCHEMA = "repro-check/bench/v1"
+
+# Kernel counters summed into the per-backend totals (manifest v5).
+_COUNTERS = (
+    "sat_calls",
+    "watch_traversals",
+    "blocker_hits",
+    "literal_pool_bytes",
+    "arena_compactions",
+    "solver_removed_clauses",
+)
+
+
+def run_suite(args: argparse.Namespace) -> dict:
+    """Run every case under both backends and assemble the comparison."""
+    cases = SUITES[args.suite]()
+    results = []
+    totals = {
+        backend: dict(
+            {"wall_time": 0.0, "sat_time": 0.0, "solved": 0},
+            **{key: 0 for key in _COUNTERS},
+        )
+        for backend in BACKENDS
+    }
+    drift = []
+
+    for case in cases:
+        if args.no_reduce:
+            model, prop = case.aig, 0
+        else:
+            reduction = reduce_aig(case.aig)
+            model, prop = reduction.aig, reduction.property_index
+        row = {"case": case.name}
+        for backend in BACKENDS:
+            options = IC3Options(sat_backend=backend)
+            # Best-of-N: repeats damp scheduler noise on shared runners
+            # (counters are deterministic across repeats).
+            elapsed = sat_time = None
+            for _ in range(max(args.repeat, 1)):
+                start = time.perf_counter()
+                outcome = IC3(model, options, property_index=prop).check(
+                    time_limit=args.timeout
+                )
+                run_time = time.perf_counter() - start
+                if elapsed is None or run_time < elapsed:
+                    elapsed = run_time
+                    sat_time = outcome.stats.sat_time
+            stats = outcome.stats
+            row[backend] = dict(
+                {
+                    "result": outcome.result.value,
+                    "wall_time": round(elapsed, 6),
+                    "sat_time": round(sat_time, 6),
+                    "frames": outcome.frames,
+                },
+                **{key: getattr(stats, key) for key in _COUNTERS},
+            )
+            bucket = totals[backend]
+            bucket["wall_time"] += elapsed
+            bucket["sat_time"] += sat_time
+            bucket["solved"] += int(outcome.result.value != "unknown")
+            for key in _COUNTERS:
+                bucket[key] += row[backend][key]
+        if row["default"]["result"] != row["arena"]["result"]:
+            drift.append(row["case"])
+        results.append(row)
+
+    for bucket in totals.values():
+        bucket["wall_time"] = round(bucket["wall_time"], 6)
+        bucket["sat_time"] = round(bucket["sat_time"], 6)
+    arena_sat = totals["arena"]["sat_time"]
+    arena_wall = totals["arena"]["wall_time"]
+    return {
+        "schema": BENCH_SCHEMA,
+        "suite": args.suite,
+        "timeout": args.timeout,
+        "reduce": not args.no_reduce,
+        "repeat": max(args.repeat, 1),
+        "num_cases": len(cases),
+        "backends": list(BACKENDS),
+        "totals": totals,
+        "sat_speedup_arena": (
+            round(totals["default"]["sat_time"] / arena_sat, 4) if arena_sat else None
+        ),
+        "wall_speedup_arena": (
+            round(totals["default"]["wall_time"] / arena_wall, 4) if arena_wall else None
+        ),
+        "verdict_drift": drift,
+        "results": results,
+    }
+
+
+def compare_to_baseline(report: dict, baseline: dict, max_slowdown: float):
+    """Check this run against a committed snapshot; returns failure strings.
+
+    Two checks, both machine-independent: per-case verdicts must match
+    the snapshot on every case the two suites share, and the arena
+    backend's default/arena SAT-time ratio must not have regressed by
+    more than ``max_slowdown`` relative to the snapshot's ratio (a
+    ratio of ratios — absolute times differ across machines).
+    """
+    failures = []
+    snapshot = {row["case"]: row for row in baseline.get("results", [])}
+    shared = 0
+    for row in report["results"]:
+        base_row = snapshot.get(row["case"])
+        if base_row is None:
+            continue
+        shared += 1
+        for backend in BACKENDS:
+            if backend in base_row and row[backend]["result"] != base_row[backend]["result"]:
+                failures.append(
+                    f"verdict drift vs baseline on {row['case']} ({backend}): "
+                    f"{row[backend]['result']} != {base_row[backend]['result']}"
+                )
+    if shared == 0:
+        failures.append("baseline shares no cases with this suite")
+    base_speedup = baseline.get("sat_speedup_arena")
+    speedup = report.get("sat_speedup_arena")
+    if base_speedup and speedup and speedup < base_speedup / max_slowdown:
+        failures.append(
+            f"arena SAT speedup regressed: {speedup}x vs baseline "
+            f"{base_speedup}x (allowed factor {max_slowdown})"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", choices=sorted(SUITES), default="quick")
+    parser.add_argument("--timeout", type=float, default=30.0, help="per-case limit")
+    parser.add_argument(
+        "--no-reduce", action="store_true", help="run on the unreduced models"
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="runs per (case, backend); the fastest is recorded (noise damping)",
+    )
+    parser.add_argument("--output", default=None, help="write the JSON report here")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail unless arena total SAT time beats default by this factor",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="committed BENCH_*.json to replay (verdicts + speedup ratio)",
+    )
+    parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=1.5,
+        help="allowed arena-speedup regression factor vs the baseline",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_suite(args)
+    totals = report["totals"]
+    print(
+        f"backend comparison ({report['suite']} suite, {report['num_cases']} cases, "
+        f"reduce={report['reduce']}):"
+    )
+    for backend in BACKENDS:
+        bucket = totals[backend]
+        print(
+            f"  {backend:<8s} wall={bucket['wall_time']:.2f}s "
+            f"sat={bucket['sat_time']:.2f}s solved={bucket['solved']} "
+            f"sat_calls={bucket['sat_calls']} "
+            f"traversals={bucket['watch_traversals']} "
+            f"(blocker_hits={bucket['blocker_hits']}, "
+            f"pool_bytes={bucket['literal_pool_bytes']}, "
+            f"compactions={bucket['arena_compactions']}, "
+            f"removed={bucket['solver_removed_clauses']})"
+        )
+    print(
+        f"  arena speedup: {report['sat_speedup_arena']}x SAT time, "
+        f"{report['wall_speedup_arena']}x wall time"
+    )
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"  report written to {args.output}")
+
+    exit_code = 0
+    if report["verdict_drift"]:
+        print(f"FAIL: verdict drift between backends on {report['verdict_drift']}")
+        exit_code = 1
+    if args.min_speedup is not None:
+        speedup = report["sat_speedup_arena"]
+        if speedup is None or speedup < args.min_speedup:
+            print(
+                f"FAIL: arena SAT speedup {speedup}x below the "
+                f"{args.min_speedup}x gate"
+            )
+            exit_code = 1
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        failures = compare_to_baseline(report, baseline, args.max_slowdown)
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        if failures:
+            exit_code = 1
+        else:
+            print(f"  baseline {args.baseline} replayed clean")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,7 @@ from repro.benchgen.liveness import (
     token_ring_live,
 )
 from repro.benchgen.suite import (
+    bench_suite,
     default_suite,
     extended_suite,
     liveness_suite,
@@ -67,6 +68,7 @@ __all__ = [
     "arbiter_live",
     "handshake_live",
     "mixed_properties",
+    "bench_suite",
     "default_suite",
     "extended_suite",
     "liveness_suite",

@@ -208,6 +208,34 @@ def quick_suite() -> List[BenchmarkCase]:
     return build_suite(spec)
 
 
+def bench_suite() -> List[BenchmarkCase]:
+    """The canonical fixed suite behind the committed ``BENCH_*.json``.
+
+    Calibrated for the backend benchmarks: it is a strict superset of
+    :func:`quick_suite` (so the CI quick gate can replay a committed
+    snapshot case-by-case) plus the medium SAFE instances — parity_w5/w6
+    and johnson_w12/w16 — whose SAT time is large enough for a kernel
+    speedup to be measurable above timer noise.  The composition is part
+    of the snapshot contract: changing it orphans every earlier
+    ``BENCH_*.json``, so grow it only alongside a fresh snapshot.
+    """
+    spec = SuiteSpec(
+        counter_widths=(3, 5, 6),
+        modular_widths=(3,),
+        ring_sizes=(3, 4, 8),
+        johnson_widths=(3, 12, 16),
+        lfsr_widths=(3, 6),
+        pipeline_stages=(3, 6),
+        arbiter_sizes=(2, 4),
+        fifo_widths=(2, 3),
+        lock_lengths=(2, 3),
+        soc_counter_widths=(),
+        soc_ring_sizes=(),
+        include_unsafe=True,
+    )
+    return build_suite(spec)
+
+
 def _check_unique_names(cases: List[BenchmarkCase]) -> None:
     seen: Dict[str, int] = {}
     for case in cases:

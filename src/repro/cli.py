@@ -32,6 +32,7 @@ from typing import List, Optional
 from repro.aiger.parser import read_aiger
 from repro.aiger.writer import write_aag
 from repro.benchgen.suite import (
+    bench_suite,
     default_suite,
     extended_suite,
     liveness_suite,
@@ -39,10 +40,15 @@ from repro.benchgen.suite import (
     reduction_suite,
 )
 from repro.core.frames import available_frame_backends
+from repro.sat.context import available_sat_backends
 from repro.core.options import IC3Options
 from repro.core.result import CheckResult
 from repro.engines import available_engines, create_engine
-from repro.harness.configs import apply_frame_backend, paper_configurations
+from repro.harness.configs import (
+    apply_frame_backend,
+    apply_sat_backend,
+    paper_configurations,
+)
 from repro.harness.manifest import build_manifest, write_manifest
 from repro.harness.report import run_paper_evaluation
 from repro.reduce import available_passes, reduce_aig
@@ -54,6 +60,7 @@ _SUITES = {
     "default": "default_suite",
     "extended": "extended_suite",
     "quick": "quick_suite",
+    "bench": "bench_suite",
     "reduction": "reduction_suite",
     "liveness": "liveness_suite",
 }
@@ -116,6 +123,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_frame_backends(),
         default=None,
         help="IC3 frame-management substrate (default: monolithic)",
+    )
+    check.add_argument(
+        "--sat-backend",
+        choices=available_sat_backends(),
+        default=None,
+        help="SAT kernel behind every solver the run creates (default: default)",
     )
     check.add_argument(
         "--jobs",
@@ -184,7 +197,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="frame-management substrate for every IC3 configuration",
     )
+    evaluate.add_argument(
+        "--sat-backend",
+        choices=available_sat_backends(),
+        default=None,
+        help="SAT kernel for every configuration (default: default)",
+    )
     evaluate.add_argument("--verbose", action="store_true", help="per-case progress")
+
+    sub.add_parser(
+        "version",
+        help="print version and registry diagnostics (engines, backends, passes)",
+    )
 
     suite = sub.add_parser("suite", help="inspect the benchmark suite")
     suite.add_argument("--list", action="store_true", help="list the cases")
@@ -209,7 +233,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_evaluate(args)
     if args.command == "suite":
         return _command_suite(args)
+    if args.command == "version":
+        return _command_version(args)
     return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _command_version(args: argparse.Namespace) -> int:
+    """Print the version plus every extension registry's contents.
+
+    The registries are the supported customization points (engines,
+    frame substrates, SAT kernels, reduction passes); listing them in
+    one place is the quickest way to see what a given checkout or
+    third-party plugin actually provides.
+    """
+    import repro
+    from repro.harness.manifest import MANIFEST_SCHEMA
+
+    print(f"repro-check {repro.__version__}")
+    print(f"manifest schema:  {MANIFEST_SCHEMA}")
+    print(f"engines:          {', '.join(available_engines(include_aliases=True))}")
+    print(f"frame backends:   {', '.join(available_frame_backends())}")
+    print(f"sat backends:     {', '.join(available_sat_backends())}")
+    print(f"reduction passes: {', '.join(available_passes())}")
+    return 0
 
 
 def _add_reduction_arguments(parser: argparse.ArgumentParser) -> None:
@@ -250,6 +296,8 @@ def _engine_kwargs(args: argparse.Namespace) -> dict:
     }
     if getattr(args, "frame_backend", None):
         kwargs["frame_backend"] = args.frame_backend
+    if getattr(args, "sat_backend", None):
+        kwargs["sat_backend"] = args.sat_backend
     if args.engine == "bmc":
         kwargs["max_depth"] = args.max_depth
     elif args.engine in ("kind", "k-induction"):
@@ -312,6 +360,7 @@ def _check_scheduled(args: argparse.Namespace, aig, options) -> int:
             max_k=args.max_k,
             max_depth=args.max_depth,
             frame_backend=getattr(args, "frame_backend", None),
+            sat_backend=getattr(args, "sat_backend", None),
         )
     except SchedulerError as error:
         print(f"error: {error}")
@@ -373,11 +422,15 @@ def _command_evaluate(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         reduce=not args.no_reduce,
         frame_backend=args.frame_backend,
+        sat_backend=args.sat_backend,
     )
     wall_clock = time.perf_counter() - start
     print(report.to_text())
     if args.output:
-        configs = apply_frame_backend(paper_configurations(), args.frame_backend)
+        configs = apply_sat_backend(
+            apply_frame_backend(paper_configurations(), args.frame_backend),
+            args.sat_backend,
+        )
         manifest = build_manifest(
             report.suite_result,
             suite=suite_name,

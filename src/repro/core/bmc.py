@@ -26,13 +26,13 @@ from repro.ts.unroll import Unroller
 class BMC:
     """Bounded model checker over an AIG."""
 
-    def __init__(self, aig: AIG, property_index: int = 0):
+    def __init__(self, aig: AIG, property_index: int = 0, sat_backend: str = "default"):
         self.aig = aig
         self.property_index = property_index
         # One persistent unrolling for the whole run: deeper bounds only
         # append frames, and the initial-state constraint rides along as
         # an assumption so the encoding itself stays reusable.
-        self.unroller = Unroller(aig, init_as_assumption=True)
+        self.unroller = Unroller(aig, init_as_assumption=True, backend=sat_backend)
         self.stats = IC3Stats()
 
     def check(

@@ -37,7 +37,7 @@ from typing import Dict, List, Optional
 from repro.core.options import IC3Options
 from repro.core.stats import IC3Stats
 from repro.logic.cube import Clause, Cube
-from repro.sat.context import SatContext
+from repro.sat.context import SatContext, sat_backend
 from repro.sat.solver import Solver
 from repro.ts.system import TransitionSystem
 
@@ -176,6 +176,18 @@ class FrameManagerBase:
 
     def finalize_stats(self) -> None:
         """Copy substrate-level counters into the run's :class:`IC3Stats`."""
+
+    def _absorb_kernel_stats(self, solver_stats) -> None:
+        """Fold one solver's memory-system counters (manifest v5) in."""
+        self.stats.watch_traversals += solver_stats.watch_traversals
+        self.stats.blocker_hits += solver_stats.blocker_hits
+        self.stats.literal_pool_bytes += solver_stats.literal_pool_bytes
+        self.stats.arena_compactions += solver_stats.arena_compactions
+        self.stats.solver_removed_clauses += (
+            solver_stats.removed_clauses
+            + solver_stats.guarded_clauses_freed
+            + solver_stats.learnts_purged
+        )
 
     # ------------------------------------------------------------------
     # Substrate hooks
@@ -527,6 +539,7 @@ class MonolithicFrameManager(FrameManagerBase):
         """Mirror the solvers' activation accounting into the run stats."""
         for ctx in (self._ctx, self._lift_ctx, self._init_ctx):
             solver_stats = ctx.solver.stats
+            self._absorb_kernel_stats(solver_stats)
             self.stats.activation_vars_allocated += (
                 solver_stats.activation_vars_allocated
             )
@@ -602,7 +615,7 @@ class PerFrameFrameManager(FrameManagerBase):
     # Solver lifecycle
     # ------------------------------------------------------------------
     def _fresh_trans_solver(self) -> Solver:
-        solver = Solver()
+        solver = sat_backend(self.options.sat_backend)()
         solver.ensure_var(self.ts.num_vars)
         for clause in self.ts.trans:
             solver.add_clause(clause.literals)
@@ -624,6 +637,17 @@ class PerFrameFrameManager(FrameManagerBase):
         self._garbage[level] += 1
         if self._garbage[level] >= self.options.solver_rebuild_interval:
             self._rebuild_solver(level)
+
+    # ------------------------------------------------------------------
+    def finalize_stats(self) -> None:
+        """Mirror per-solver kernel counters into the run stats.
+
+        Rebuilt solvers take their counters with them, so the totals
+        cover the solvers alive at the end of the run — the same point
+        at which the monolithic substrate snapshots its contexts.
+        """
+        for solver in list(self._solvers) + [self._lift_solver]:
+            self._absorb_kernel_stats(solver.stats)
 
     # ------------------------------------------------------------------
     # SAT queries

@@ -29,10 +29,12 @@ from repro.ts.unroll import Unroller
 class KInduction:
     """k-induction engine over an AIG."""
 
-    def __init__(self, aig: AIG, property_index: int = 0):
+    def __init__(self, aig: AIG, property_index: int = 0, sat_backend: str = "default"):
         self.aig = aig
         self.property_index = property_index
-        self.unroller = Unroller(aig, use_init=True, init_as_assumption=True)
+        self.unroller = Unroller(
+            aig, use_init=True, init_as_assumption=True, backend=sat_backend
+        )
         self.stats = IC3Stats()
 
     def check(

@@ -55,6 +55,14 @@ class IC3Stats:
     shared_lemmas_applied: int = 0    # pool clauses actually seeded into frames
     shared_unrolling_queries: int = 0  # BMC queries answered by a shared unrolling
 
+    # SAT-kernel memory-system activity (manifest schema v5); aggregated
+    # over every solver the run created, same semantics in both backends.
+    watch_traversals: int = 0         # watch-list entries inspected in propagate
+    blocker_hits: int = 0             # entries resolved from the blocker alone
+    literal_pool_bytes: int = 0       # live clause-storage bytes at finalize
+    arena_compactions: int = 0        # clause-storage garbage collections
+    solver_removed_clauses: int = 0   # clauses lazily deleted (guarded + learnt)
+
     # Generalization activity
     generalizations: int = 0          # N_g
     mic_drop_attempts: int = 0
@@ -129,6 +137,11 @@ class IC3Stats:
             "shared_lemmas_offered": self.shared_lemmas_offered,
             "shared_lemmas_applied": self.shared_lemmas_applied,
             "shared_unrolling_queries": self.shared_unrolling_queries,
+            "watch_traversals": self.watch_traversals,
+            "blocker_hits": self.blocker_hits,
+            "literal_pool_bytes": self.literal_pool_bytes,
+            "arena_compactions": self.arena_compactions,
+            "solver_removed_clauses": self.solver_removed_clauses,
             "generalizations": self.generalizations,
             "mic_drop_attempts": self.mic_drop_attempts,
             "mic_drop_successes": self.mic_drop_successes,

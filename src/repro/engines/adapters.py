@@ -113,13 +113,16 @@ class BMCEngine:
         max_depth: int = 50,
         reduce: bool = True,
         passes: Optional[Sequence[str]] = None,
+        sat_backend: Optional[str] = None,
         **_ignored,
     ):
         self.max_depth = max_depth
         model, model_property, self.reduction = prepare_model(
             aig, property_index, reduce, passes
         )
-        self._engine = BMC(model, property_index=model_property)
+        if sat_backend is None:
+            sat_backend = (options or IC3Options()).sat_backend
+        self._engine = BMC(model, property_index=model_property, sat_backend=sat_backend)
 
     def check(self, time_limit: Optional[float] = None) -> CheckOutcome:
         outcome = self._engine.check(max_depth=self.max_depth, time_limit=time_limit)
@@ -139,13 +142,18 @@ class KInductionEngine:
         max_k: int = 20,
         reduce: bool = True,
         passes: Optional[Sequence[str]] = None,
+        sat_backend: Optional[str] = None,
         **_ignored,
     ):
         self.max_k = max_k
         model, model_property, self.reduction = prepare_model(
             aig, property_index, reduce, passes
         )
-        self._engine = KInduction(model, property_index=model_property)
+        if sat_backend is None:
+            sat_backend = (options or IC3Options()).sat_backend
+        self._engine = KInduction(
+            model, property_index=model_property, sat_backend=sat_backend
+        )
 
     def check(self, time_limit: Optional[float] = None) -> CheckOutcome:
         outcome = self._engine.check(max_k=self.max_k, time_limit=time_limit)

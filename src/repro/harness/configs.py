@@ -101,6 +101,25 @@ def apply_frame_backend(
     ]
 
 
+def apply_sat_backend(
+    configs: Sequence[EngineConfig], sat_backend: Optional[str]
+) -> List[EngineConfig]:
+    """Override the SAT kernel of every configuration carrying options.
+
+    Mirrors :func:`apply_frame_backend` for the ``--sat-backend``
+    override: one helper serves both the harness (engine construction)
+    and the CLI (manifest recording), so the two cannot drift.
+    """
+    if sat_backend is None:
+        return list(configs)
+    return [
+        replace(config, options=replace(config.options, sat_backend=sat_backend))
+        if config.options is not None
+        else config
+        for config in configs
+    ]
+
+
 def prediction_pairs() -> List[Tuple[str, str]]:
     """(base, prediction) configuration name pairs used by Figures 3 and 4."""
     return [("RIC3", "RIC3-pl"), ("IC3ref", "IC3ref-pl")]

@@ -48,6 +48,18 @@ Schema v4 (``repro-check/manifest/v4``) additions over v3:
   clauses seeded across sibling properties) and
   ``shared_unrolling_queries`` (BMC queries answered by the scheduler's
   shared unrolling).
+
+Schema v5 (``repro-check/manifest/v5``) additions over v4:
+
+* per-result ``stats`` now includes the SAT-kernel memory-system
+  counters maintained identically by both registered backends:
+  ``watch_traversals`` (watcher entries inspected by unit propagation),
+  ``blocker_hits`` (entries resolved from the cached blocker literal
+  without touching clause memory), ``literal_pool_bytes`` (live
+  clause-storage bytes at finalize), ``arena_compactions``
+  (clause-storage garbage collections) and ``solver_removed_clauses``
+  (lazily deleted clauses: reduce-DB victims, removed guarded clauses
+  and purged learnts).
 """
 
 from __future__ import annotations
@@ -59,7 +71,7 @@ from typing import Dict, Optional, Sequence
 from repro.harness.configs import EngineConfig
 from repro.harness.runner import CaseResult, SuiteResult
 
-MANIFEST_SCHEMA = "repro-check/manifest/v4"
+MANIFEST_SCHEMA = "repro-check/manifest/v5"
 
 
 def _reduction_sizes(result: CaseResult) -> Optional[Dict[str, object]]:

@@ -17,6 +17,7 @@ from repro.benchgen.suite import default_suite
 from repro.harness.configs import (
     EngineConfig,
     apply_frame_backend,
+    apply_sat_backend,
     paper_configurations,
     prediction_pairs,
 )
@@ -99,6 +100,7 @@ def run_paper_evaluation(
     jobs: int = 1,
     reduce: bool = True,
     frame_backend: Optional[str] = None,
+    sat_backend: Optional[str] = None,
 ) -> PaperReport:
     """Run the full evaluation and return the assembled report.
 
@@ -106,13 +108,16 @@ def run_paper_evaluation(
     worker processes; the report is deterministic for any jobs value.
     ``reduce=False`` disables the reduction preprocessing pipeline.
     ``frame_backend`` overrides the frame-management substrate of every
-    IC3-based configuration (``"monolithic"`` or ``"per-frame"``).
+    IC3-based configuration (``"monolithic"`` or ``"per-frame"``);
+    ``sat_backend`` overrides the SAT kernel the same way (``"default"``
+    or ``"arena"``).
     """
     if cases is None:
         cases = default_suite()
     if configs is None:
         configs = paper_configurations()
     configs = apply_frame_backend(configs, frame_backend)
+    configs = apply_sat_backend(configs, sat_backend)
 
     runner = BenchmarkRunner(
         cases,

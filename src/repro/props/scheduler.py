@@ -307,7 +307,9 @@ class PropertyScheduler:
         self, safety: List[PropertyObligation], deadline: Optional[float]
     ) -> Tuple[Dict[int, PropertyVerdict], int]:
         """Probe all safety obligations on one incremental unrolling."""
-        unroller = Unroller(self.aig, init_as_assumption=True)
+        unroller = Unroller(
+            self.aig, init_as_assumption=True, backend=self.sat_backend or "default"
+        )
         unresolved = list(safety)
         resolved: Dict[int, PropertyVerdict] = {}
         queries = 0

@@ -10,6 +10,7 @@ and accelerate generalization.
 """
 
 from repro.sat.solver import Solver, SolverStats
+from repro.sat.arena import ArenaClauseRef, ArenaSolver
 from repro.sat.context import (
     ContextStats,
     SatContext,
@@ -25,6 +26,8 @@ from repro.sat.dimacs import parse_dimacs, write_dimacs
 __all__ = [
     "Solver",
     "SolverStats",
+    "ArenaSolver",
+    "ArenaClauseRef",
     "SatContext",
     "ContextStats",
     "register_sat_backend",

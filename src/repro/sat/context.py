@@ -29,6 +29,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro.sat.arena import ArenaSolver
 from repro.sat.exceptions import SolverError
 from repro.sat.solver import Solver
 
@@ -37,12 +38,28 @@ SolverFactory = Callable[[], Solver]
 _BACKENDS: Dict[str, SolverFactory] = {}
 
 
-def register_sat_backend(name: str, factory: Optional[SolverFactory] = None):
-    """Register a solver factory under ``name`` (usable as a decorator)."""
+# Backends every installation must keep: "default" is the reference
+# oracle the differential tests and benchmarks compare against, "arena"
+# is the flat-arena production kernel.
+_PROTECTED_BACKENDS = frozenset({"default", "arena"})
+
+
+def register_sat_backend(
+    name: str, factory: Optional[SolverFactory] = None, override: bool = False
+):
+    """Register a solver factory under ``name`` (usable as a decorator).
+
+    Re-registering an existing name raises :class:`SolverError` unless
+    ``override=True`` is passed explicitly, so a plugin cannot silently
+    shadow another backend (or the built-in ones).
+    """
 
     def _register(fn: SolverFactory) -> SolverFactory:
-        if name in _BACKENDS:
-            raise SolverError(f"SAT backend {name!r} is already registered")
+        if name in _BACKENDS and not override:
+            raise SolverError(
+                f"SAT backend {name!r} is already registered "
+                "(pass override=True to replace it)"
+            )
         _BACKENDS[name] = fn
         return fn
 
@@ -52,7 +69,16 @@ def register_sat_backend(name: str, factory: Optional[SolverFactory] = None):
 
 
 def unregister_sat_backend(name: str) -> None:
-    """Remove a backend registration (primarily for tests)."""
+    """Remove a backend registration (primarily for tests).
+
+    The built-in backends cannot be unregistered: ``default`` is the
+    reference oracle behind the differential-soundness guarantees and
+    ``arena`` is the shipped production kernel.
+    """
+    if name in _PROTECTED_BACKENDS:
+        raise SolverError(
+            f"SAT backend {name!r} is built in and cannot be unregistered"
+        )
     _BACKENDS.pop(name, None)
 
 
@@ -73,6 +99,7 @@ def available_sat_backends() -> List[str]:
 
 
 register_sat_backend("default", Solver)
+register_sat_backend("arena", ArenaSolver)
 
 
 @dataclass

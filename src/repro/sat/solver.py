@@ -55,6 +55,16 @@ class SolverStats:
     learnts_purged: int = 0
     assumption_levels_reused: int = 0
 
+    # Cache/allocation-oriented counters (manifest schema v5).  The
+    # traversal counters are maintained by both backends with the same
+    # semantics: ``watch_traversals`` counts watcher entries visited by
+    # unit propagation, ``blocker_hits`` the subset resolved by the
+    # cached blocker literal alone (no clause memory touched).
+    watch_traversals: int = 0
+    blocker_hits: int = 0
+    literal_pool_bytes: int = 0
+    arena_compactions: int = 0
+
     def as_dict(self) -> Dict[str, int]:
         """Return the statistics as a plain dictionary."""
         return {
@@ -73,6 +83,10 @@ class SolverStats:
             "guarded_clauses_freed": self.guarded_clauses_freed,
             "learnts_purged": self.learnts_purged,
             "assumption_levels_reused": self.assumption_levels_reused,
+            "watch_traversals": self.watch_traversals,
+            "blocker_hits": self.blocker_hits,
+            "literal_pool_bytes": self.literal_pool_bytes,
+            "arena_compactions": self.arena_compactions,
         }
 
 
@@ -133,7 +147,6 @@ class Solver:
         self._act_free: List[int] = []
         self._act_retired: Set[int] = set()
         self._freed_clauses = 0
-        self._pending_detach: List[SolverClause] = []
 
         self.stats = SolverStats()
 
@@ -203,7 +216,6 @@ class Solver:
             # Mutating the clause database invalidates the reusable
             # assumption trail kept between solve calls; flush it.
             self._cancel_until(0)
-        self._drain_pending_detach()
         if not self._ok:
             return False, None
 
@@ -237,6 +249,7 @@ class Solver:
         clause = SolverClause(simplified, learnt=False)
         self._clauses.append(clause)
         self._attach(clause)
+        self.stats.literal_pool_bytes += 8 * (len(simplified) + 2)
         return True, clause
 
     def add_cube_as_units(self, cube: Cube) -> bool:
@@ -345,6 +358,7 @@ class Solver:
         clause = SolverClause([watch_a, watch_b] + rest, learnt=False)
         self._clauses.append(clause)
         self._attach(clause)
+        self.stats.literal_pool_bytes += 8 * (len(simplified) + 2)
         return True, clause
 
     def remove_guarded(self, act: int, clause: SolverClause) -> None:
@@ -353,7 +367,10 @@ class Solver:
         The caller must guarantee that the clause is *implied* by the
         remaining database (e.g. it is subsumed by another clause, or
         follows from it through frame-implication chains): learnt clauses
-        derived from it stay attached and must remain sound.
+        derived from it stay attached and must remain sound.  Removal is
+        a pure lazy-deletion mark, so it never flushes the reusable
+        trail — propagation drops the stale watchers on its next visit
+        (and the implied clause remains a sound reason meanwhile).
         """
         group = self._act_groups.get(act)
         if group is None:
@@ -364,59 +381,46 @@ class Solver:
             group.remove(clause)
         except ValueError:
             raise SolverError("clause does not belong to the given activation group")
-        if self._trail_lim:
-            # The clause may be a reason on the live trail; since it is
-            # implied by the remaining database, leaving it attached until
-            # the next natural level-0 moment is sound and avoids flushing
-            # the reusable trail.
-            self._pending_detach.append(clause)
-            return
-        self._detach_removed(clause)
+        self._free_clause(clause)
+        self.stats.guarded_clauses_freed += 1
 
-    def _detach_removed(self, clause: SolverClause) -> None:
-        if clause.deleted:
-            return
-        self._detach(clause)
+    def _free_clause(self, clause: SolverClause) -> None:
+        """Lazily delete a problem clause (watchers are dropped by propagate)."""
         clause.deleted = True
         self._freed_clauses += 1
-        self.stats.guarded_clauses_freed += 1
+        self.stats.literal_pool_bytes -= 8 * (len(clause.lits) + 2)
         if self._freed_clauses >= 64 and self._freed_clauses * 2 >= len(self._clauses):
             self._clauses = [c for c in self._clauses if not c.deleted]
             self._freed_clauses = 0
-
-    def _drain_pending_detach(self) -> None:
-        """Physically detach clauses removed while the trail was live."""
-        if self._pending_detach and not self._trail_lim:
-            for clause in self._pending_detach:
-                self._detach_removed(clause)
-            self._pending_detach.clear()
+            self.stats.arena_compactions += 1
 
     def release(self, act: int) -> None:
         """Remove the clause group of ``act`` and recycle the variable.
 
-        Detaches the guarded clauses, deletes every learnt clause whose
+        Deletes the guarded clauses, purges every learnt clause whose
         derivation could depend on them (all mention ``-act``), and either
         returns the variable to the free list or — when unit propagation
         fixed it at level 0 — retires it permanently.
         """
         if self._trail_lim:
             # Clauses above level 0 may act as reasons on the reusable
-            # trail; flush it before detaching anything.
+            # trail; flush it before deleting anything.
             self._cancel_until(0)
-        self._drain_pending_detach()
         group = self._act_groups.pop(act, None)
         if group is None:
             raise SolverError(f"{act} is not an active activation variable")
         for clause in group:
-            self._detach_removed(clause)
+            if not clause.deleted:
+                self._free_clause(clause)
+                self.stats.guarded_clauses_freed += 1
 
         dependent = self._act_learnts.pop(act)
         purged = 0
         for clause in dependent:
             if clause.deleted:
                 continue
-            self._detach(clause)
             clause.deleted = True
+            self.stats.literal_pool_bytes -= 8 * (len(clause.lits) + 2)
             purged += 1
         if purged:
             self._learnts = [c for c in self._learnts if not c.deleted]
@@ -502,7 +506,6 @@ class Solver:
             keep += 1
         self._cancel_until(keep)
         self.stats.assumption_levels_reused += keep
-        self._drain_pending_detach()
         self._assumptions = new_assumptions
 
         self._max_learnts = max(
@@ -594,16 +597,6 @@ class Solver:
         self._watches[self._lit_index(lits[0])].append([clause, lits[1]])
         self._watches[self._lit_index(lits[1])].append([clause, lits[0]])
 
-    def _detach(self, clause: SolverClause) -> None:
-        lits = clause.lits
-        for lit in (lits[0], lits[1]):
-            watch_list = self._watches[self._lit_index(lit)]
-            for i, entry in enumerate(watch_list):
-                if entry[0] is clause:
-                    watch_list[i] = watch_list[-1]
-                    watch_list.pop()
-                    break
-
     def _new_decision_level(self) -> None:
         self._trail_lim.append(len(self._trail))
         depth = len(self._trail_lim)
@@ -654,10 +647,13 @@ class Solver:
         trail = self._trail
         watches = self._watches
         assigns = self._assigns
+        stats = self.stats
+        traversed = 0
+        blocker_hits = 0
         while self._qhead < len(trail):
             p = trail[self._qhead]
             self._qhead += 1
-            self.stats.propagations += 1
+            stats.propagations += 1
             neg_p = -p
             if neg_p > 0:
                 watch_index = neg_p << 1
@@ -668,6 +664,7 @@ class Solver:
             write = 0
             read = 0
             size = len(watch_list)
+            traversed += size
             while read < size:
                 entry = watch_list[read]
                 read += 1
@@ -679,8 +676,12 @@ class Solver:
                 if (assigns[blocker] if blocker > 0 else -assigns[-blocker]) == _TRUE:
                     watch_list[write] = entry
                     write += 1
+                    blocker_hits += 1
                     continue
                 clause = entry[0]
+                if clause.deleted:
+                    # Lazily removed clause: drop the stale watcher.
+                    continue
                 lits = clause.lits
                 if lits[0] == neg_p:
                     lits[0], lits[1] = lits[1], lits[0]
@@ -714,7 +715,11 @@ class Solver:
                 del watch_list[write:]
             if conflict is not None:
                 self._qhead = len(trail)
+                stats.watch_traversals += traversed
+                stats.blocker_hits += blocker_hits
                 return conflict
+        stats.watch_traversals += traversed
+        stats.blocker_hits += blocker_hits
         return None
 
     def _bump_var(self, var: int) -> None:
@@ -858,6 +863,7 @@ class Solver:
         self._attach(clause)
         self._bump_clause(clause)
         self.stats.learnt_clauses += 1
+        self.stats.literal_pool_bytes += 8 * (len(learnt) + 2)
         if self._act_groups:
             # Index the learnt under every activation group it depends on
             # so that releasing a group can purge it in O(dependents).
@@ -875,9 +881,9 @@ class Solver:
         for i, clause in enumerate(self._learnts):
             locked = self._reason[abs(clause.lits[0])] is clause
             if i < limit and len(clause.lits) > 2 and not locked:
-                self._detach(clause)
                 clause.deleted = True
                 self.stats.removed_clauses += 1
+                self.stats.literal_pool_bytes -= 8 * (len(clause.lits) + 2)
             else:
                 keep.append(clause)
         self._learnts = keep

@@ -23,11 +23,18 @@ from typing import Dict, List, Optional
 
 from repro.aiger.aig import AIG, FALSE_LIT, TRUE_LIT
 from repro.logic.cube import Cube
+from repro.sat.context import sat_backend
 from repro.sat.solver import Solver
 
 
 class Unroller:
-    """Incrementally unrolls an AIG into a SAT solver."""
+    """Incrementally unrolls an AIG into a SAT solver.
+
+    The solver is either passed in directly or constructed from the
+    registered ``backend`` name (see :func:`repro.sat.context.
+    register_sat_backend`), so BMC/k-induction unrollings pick up
+    alternative kernels such as the flat-arena solver.
+    """
 
     def __init__(
         self,
@@ -35,10 +42,11 @@ class Unroller:
         solver: Optional[Solver] = None,
         use_init: bool = True,
         init_as_assumption: bool = False,
+        backend: str = "default",
     ):
         aig.validate()
         self.aig = aig
-        self.solver = solver if solver is not None else Solver()
+        self.solver = solver if solver is not None else sat_backend(backend)()
         self.use_init = use_init
         self.init_as_assumption = init_as_assumption
         # Allocated lazily after frame 0's variables so that the frame-0

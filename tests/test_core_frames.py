@@ -3,8 +3,11 @@
 Every test in this module runs against both frame-management substrates
 (the monolithic single-solver manager and the per-frame baseline) via the
 ``backend`` fixture; backend-specific behaviour has its own classes at
-the bottom.
+the bottom — and under both registered SAT kernels via the autouse
+``sat_kernel`` fixture.
 """
+
+import sys
 
 import pytest
 
@@ -27,9 +30,21 @@ def backend(request):
     return request.param
 
 
+# The SAT kernel every manager in this file runs on; the autouse fixture
+# below sweeps it so the whole substrate suite exercises both kernels.
+_SAT_KERNEL = "default"
+
+
+@pytest.fixture(params=["default", "arena"], autouse=True)
+def sat_kernel(request, monkeypatch):
+    monkeypatch.setattr(sys.modules[__name__], "_SAT_KERNEL", request.param)
+    return request.param
+
+
 def _manager(case=None, backend="monolithic", **option_kwargs):
     case = case if case is not None else token_ring(3)
     ts = TransitionSystem(case.aig)
+    option_kwargs.setdefault("sat_backend", _SAT_KERNEL)
     options = IC3Options(frame_backend=backend, **option_kwargs)
     stats = IC3Stats()
     manager = FrameManager(ts, options, stats)

@@ -74,7 +74,7 @@ class TestManifestDeterminism:
 
     def test_substrate_stats_present_and_deterministic(self):
         manifest = _manifest(jobs=4)
-        assert manifest["schema"] == MANIFEST_SCHEMA == "repro-check/manifest/v4"
+        assert manifest["schema"] == MANIFEST_SCHEMA == "repro-check/manifest/v5"
         for result in manifest["results"]:
             stats = result["stats"]
             for field in (
@@ -87,6 +87,11 @@ class TestManifestDeterminism:
                 "activation_vars_retired",
                 "assumption_levels_reused",
                 "consecution_fallbacks",
+                "watch_traversals",
+                "blocker_hits",
+                "literal_pool_bytes",
+                "arena_compactions",
+                "solver_removed_clauses",
             ):
                 assert field in stats
                 assert isinstance(stats[field], int)
