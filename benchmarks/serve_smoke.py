@@ -1,0 +1,267 @@
+"""Smoke test of the verification service over real HTTP (the CI gate).
+
+Starts the daemon in-process on an ephemeral port, then exercises the
+full service contract with a plain ``urllib`` client:
+
+1. submit every quick-suite circuit over ``POST /jobs`` and poll each to
+   a verdict, checking it against the suite's expectation;
+2. resubmit an isomorphic rebuild (binary round-trip: renumbered
+   variables, fresh topological order) of every circuit and require a
+   ``cache_hit: true`` answer carrying the identical verdict record;
+3. scrape ``GET /metrics`` and cross-check the counters against what the
+   client observed (submissions, hits/misses, zero rejections);
+4. write a manifest-v6-shaped JSON transcript (``--output``), with the
+   service counters in the ``service`` block, for the CI artifact.
+
+Exit status is non-zero on any wrong verdict, missed cache hit, counter
+mismatch, or HTTP failure.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py --output serve_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from repro.aiger.parser import parse_aiger
+from repro.aiger.writer import to_aag_string, to_aig_bytes
+from repro.benchgen.suite import quick_suite
+from repro.harness.manifest import MANIFEST_SCHEMA
+from repro.serve.server import JobServer
+from repro.serve.service import VerificationService
+
+
+def isomorphic_variant(text: str) -> str:
+    """Binary round-trip: same structure, different bytes and numbering."""
+    return to_aag_string(parse_aiger(to_aig_bytes(parse_aiger(text))))
+
+
+class Client:
+    def __init__(self, base: str):
+        self.base = base
+
+    def request(self, path, data=None, method=None, tenant="smoke"):
+        req = urllib.request.Request(
+            self.base + path,
+            data=data,
+            headers={"X-Tenant": tenant} if data is not None else {},
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=60) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+    def poll_done(self, job_id: str, budget: float = 120.0):
+        deadline = time.monotonic() + budget
+        while time.monotonic() < deadline:
+            status, payload = self.request(f"/jobs/{job_id}")
+            if status != 200:
+                raise RuntimeError(f"poll failed with {status}: {payload}")
+            if payload["status"] in ("done", "failed"):
+                return payload
+            time.sleep(0.1)
+        raise RuntimeError(f"job {job_id} did not finish within {budget}s")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--timeout", type=float, default=30.0, help="per-job budget")
+    parser.add_argument("--workers", type=int, default=2, help="warm workers")
+    parser.add_argument(
+        "--output", default=None, metavar="PATH", help="JSON transcript path"
+    )
+    args = parser.parse_args()
+
+    service = VerificationService(
+        workers=args.workers,
+        queue_depth=64,
+        default_timeout=args.timeout,
+        tenant_burst=1000.0,
+    )
+    server = JobServer(service, port=0)
+    loop = asyncio.new_event_loop()
+
+    def run_loop():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        loop.run_forever()
+
+    thread = threading.Thread(target=run_loop, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 10
+    while server._server is None and time.monotonic() < deadline:
+        time.sleep(0.01)
+    if server._server is None:
+        print("FAIL: server did not start", file=sys.stderr)
+        return 1
+    client = Client(server.address)
+    print(f"serve smoke: daemon at {server.address}")
+
+    failures = []
+    transcript_results = []
+    cases = quick_suite()
+    started = time.time()
+
+    status, health = client.request("/health")
+    if status != 200 or health["status"] != "ok":
+        failures.append(f"health check failed: {status} {health}")
+
+    # Pass 1: cold submissions, one per circuit.
+    verdicts = {}
+    for case in cases:
+        text = to_aag_string(case.aig)
+        status, payload = client.request(
+            "/jobs",
+            data=json.dumps({"model": text, "timeout": args.timeout}).encode(),
+            method="POST",
+        )
+        if status != 202:
+            failures.append(f"{case.name}: submission answered {status}: {payload}")
+            continue
+        done = client.poll_done(payload["id"])
+        record = done["result"]
+        verdicts[case.name] = record
+        expected = case.expected
+        if done["cache_hit"] or done["status"] != "done":
+            failures.append(f"{case.name}: unexpected cold-run state {done['status']}")
+        if expected in ("safe", "unsafe") and record["result"] != expected:
+            failures.append(
+                f"{case.name}: verdict {record['result']}, expected {expected}"
+            )
+        print(f"  cold  {case.name:<24s} {record['result']:<8s} {record['runtime']:.3f}s")
+        transcript_results.append(
+            {
+                "case": case.name,
+                "config": "serve-cold",
+                "cache_hit": False,
+                **{
+                    key: record[key]
+                    for key in (
+                        "result",
+                        "runtime",
+                        "frames",
+                        "engine",
+                        "winner",
+                        "stats",
+                        "reduction",
+                        "properties",
+                        "transformation",
+                        "error",
+                    )
+                },
+            }
+        )
+
+    # Pass 2: isomorphic resubmissions must all be served from cache.
+    for case in cases:
+        if case.name not in verdicts:
+            continue
+        variant = isomorphic_variant(to_aag_string(case.aig))
+        status, payload = client.request(
+            "/jobs",
+            data=json.dumps({"model": variant, "timeout": args.timeout}).encode(),
+            method="POST",
+        )
+        if verdicts[case.name]["result"] in ("safe", "unsafe"):
+            if status != 200 or not payload.get("cache_hit"):
+                failures.append(
+                    f"{case.name}: isomorphic resubmission missed the cache "
+                    f"(status {status})"
+                )
+                continue
+            if payload["result"] != verdicts[case.name]:
+                failures.append(f"{case.name}: cached record drifted from cold run")
+            print(f"  warm  {case.name:<24s} cache_hit")
+            transcript_results.append(
+                {
+                    "case": case.name,
+                    "config": "serve-warm",
+                    "cache_hit": True,
+                    "result": payload["result"]["result"],
+                    "runtime": 0.0,
+                    "error": None,
+                }
+            )
+        elif status == 200 and payload.get("cache_hit"):
+            failures.append(f"{case.name}: unknown verdict must not be cached")
+
+    # Metrics must match what the client observed.
+    status, metrics = client.request("/metrics")
+    solved = sum(
+        1 for record in verdicts.values() if record["result"] in ("safe", "unsafe")
+    )
+    expected_counters = {
+        "jobs_submitted": len(verdicts) + solved,
+        "jobs_completed": len(verdicts),
+        "cache_hits": solved,
+        "cache_misses": len(verdicts),
+        "queue_rejections": 0,
+        "budget_rejections": 0,
+    }
+    for name, want in expected_counters.items():
+        if metrics.get(name) != want:
+            failures.append(f"metrics[{name}] = {metrics.get(name)}, expected {want}")
+    print(
+        "  metrics: "
+        + ", ".join(f"{name}={metrics.get(name)}" for name in sorted(expected_counters))
+    )
+
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(timeout=10)
+    service.stop()
+
+    if args.output:
+        transcript = {
+            "schema": MANIFEST_SCHEMA,
+            "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "suite": "quick",
+            "timeout": args.timeout,
+            "jobs": args.workers,
+            "validate": False,
+            "reduce": True,
+            "num_cases": len(cases),
+            "num_configs": 2,
+            "configs": {
+                "serve-cold": {"engine": "ic3-pl", "transport": "http"},
+                "serve-warm": {"engine": "cache", "transport": "http"},
+            },
+            "totals": None,
+            "results": transcript_results,
+            "wall_clock": round(time.time() - started, 3),
+            "service": {
+                "address": server.address,
+                "counters": {
+                    name: value
+                    for name, value in metrics.items()
+                    if isinstance(value, int)
+                },
+                "failures": failures,
+            },
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(transcript, handle, indent=2)
+            handle.write("\n")
+        print(f"  transcript written to {args.output}")
+
+    if failures:
+        print(f"\nFAIL ({len(failures)}):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(verdicts)} circuits verified, {solved} cache hits confirmed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""Order-independent structural digest of an AIG.
+
+The verification service (:mod:`repro.serve`) must recognise that two
+submissions are *the same circuit* even when the files differ textually:
+gates listed in a different order, different variable numbering from an
+isomorphic rebuild, swapped AND operands, double negations folded one way
+or the other, or dead logic left behind by an editor.  All of those
+produce the same :func:`structural_digest`, because the digest hashes the
+*DAG reachable from the semantic roots* bottom-up instead of the file:
+
+* every node gets a hash built only from the hashes of its operands —
+  variable numbers and gate list positions never enter the digest;
+* AND operand hashes are combined commutatively (sorted), so ``a & b``
+  and ``b & a`` agree, and structurally duplicate gates collapse to one
+  hash by construction;
+* only gates in the transitive fan-in of a root (latch next-state
+  functions, outputs, bads, invariant constraints, justice and fairness
+  literals) contribute — dead logic is invisible;
+* invariant constraints and the literals inside one justice group are
+  conjunctive sets, so their hashes are sorted before combination.
+
+What the digest is *not* invariant under: input/latch/property
+reordering.  Input ``i`` hashes as "the i-th input" — permuting the
+interface changes the circuit's meaning for witnesses and per-property
+verdicts, so it must change the key.  This matches what a
+:class:`~repro.reduce.strash.StructuralHashPass` rebuild preserves: the
+digest of an AIG and of its strashed rebuild are identical.
+
+The result is a hex SHA-256 string, stable across processes and Python
+versions (no ``hash()`` randomisation), usable as a dictionary key for
+result caches and harness-level deduplication.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.aiger.aig import AIG, FALSE_LIT
+
+_SEP = b"\x1f"
+
+
+def _h(*parts: bytes) -> bytes:
+    return hashlib.sha256(_SEP.join(parts)).digest()
+
+
+def _root_literals(aig: AIG) -> List[int]:
+    """Every literal the digest must reach (the semantic outputs)."""
+    roots = [latch.next for latch in aig.latches]
+    roots += list(aig.outputs) + list(aig.bads) + list(aig.constraints)
+    roots += [lit for group in aig.justice for lit in group]
+    roots += list(aig.fairness)
+    return roots
+
+
+def _cone_gates(aig: AIG, roots: Iterable[int]) -> Set[int]:
+    """Positive literals of AND gates in the fan-in cone of the roots."""
+    gate_by_lhs = {gate.lhs: gate for gate in aig.ands}
+    needed: Set[int] = set()
+    pending = [lit & ~1 for lit in roots]
+    while pending:
+        base = pending.pop()
+        if base in needed:
+            continue
+        gate = gate_by_lhs.get(base)
+        if gate is None:
+            continue
+        needed.add(base)
+        pending.append(gate.rhs0 & ~1)
+        pending.append(gate.rhs1 & ~1)
+    return needed
+
+
+def structural_digest(aig: AIG) -> str:
+    """Hex SHA-256 digest of the circuit's structure (see module docs)."""
+    node: Dict[int, bytes] = {FALSE_LIT >> 1: _h(b"const")}
+    for index, lit in enumerate(aig.inputs):
+        node[lit >> 1] = _h(b"input", str(index).encode())
+    for index, latch in enumerate(aig.latches):
+        node[latch.lit >> 1] = _h(
+            b"latch", str(index).encode(), str(latch.init).encode()
+        )
+
+    def lit_hash(lit: int) -> bytes:
+        base = node.get(lit >> 1)
+        if base is None:
+            # A root can only reach an undefined variable in a malformed
+            # AIG; hash it distinctly instead of crashing the digest.
+            base = _h(b"undef")
+        return base + (b"-" if lit & 1 else b"+")
+
+    needed = _cone_gates(aig, _root_literals(aig))
+    # ``aig.ands`` is topologically ordered (validate() enforces
+    # lhs > rhs), so operand hashes exist by the time a gate is reached
+    # regardless of how the gate list is permuted within that order.
+    for gate in aig.ands:
+        if gate.lhs in needed:
+            a, b = sorted((lit_hash(gate.rhs0), lit_hash(gate.rhs1)))
+            node[gate.lhs >> 1] = _h(b"and", a, b)
+
+    def combine(tag: bytes, hashes: Sequence[bytes]) -> bytes:
+        return _h(tag, *hashes)
+
+    parts = [
+        _h(b"shape", str(aig.num_inputs).encode(), str(aig.num_latches).encode()),
+        combine(
+            b"latches",
+            [
+                _h(b"latchrec", str(latch.init).encode(), lit_hash(latch.next))
+                for latch in aig.latches
+            ],
+        ),
+        combine(b"outputs", [lit_hash(lit) for lit in aig.outputs]),
+        combine(b"bads", [lit_hash(lit) for lit in aig.bads]),
+        combine(b"constraints", sorted(lit_hash(lit) for lit in aig.constraints)),
+        combine(
+            b"justice",
+            [
+                combine(b"group", sorted(lit_hash(lit) for lit in group))
+                for group in aig.justice
+            ],
+        ),
+        combine(b"fairness", sorted(lit_hash(lit) for lit in aig.fairness)),
+    ]
+    return hashlib.sha256(_SEP.join(parts)).hexdigest()

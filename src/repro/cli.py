@@ -19,7 +19,11 @@ command line:
   ``--jobs N`` parallelizes the configurations × cases cross product over
   worker processes with hard per-case timeouts, and ``--output run.json``
   records a machine-readable manifest of the run;
-* ``repro-check suite --list`` — show the benchmark suite.
+* ``repro-check suite --list`` — show the benchmark suite;
+* ``repro-check serve`` — run the verification-as-a-service HTTP daemon
+  (warm worker pool, bounded queue, per-tenant budgets, structural-hash
+  result cache); ``repro-check submit model.aag --wait 60`` is the
+  matching client.
 """
 
 from __future__ import annotations
@@ -205,6 +209,96 @@ def build_parser() -> argparse.ArgumentParser:
     )
     evaluate.add_argument("--verbose", action="store_true", help="per-case progress")
 
+    serve = sub.add_parser(
+        "serve", help="run the verification-as-a-service HTTP daemon"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8123, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="warm worker processes (default: 2)"
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="bounded job-queue depth; overflow answers 503 (default: 16)",
+    )
+    serve.add_argument(
+        "--max-jobs-per-worker",
+        type=int,
+        default=32,
+        help="recycle a worker process after this many jobs (default: 32)",
+    )
+    serve.add_argument(
+        "--default-timeout",
+        type=float,
+        default=30.0,
+        help="per-job time budget when the submission names none (default: 30)",
+    )
+    serve.add_argument(
+        "--max-timeout",
+        type=float,
+        default=300.0,
+        help="hard ceiling on requested per-job budgets (default: 300)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=256,
+        help="result-cache entries before LRU eviction (default: 256)",
+    )
+    serve.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=5.0,
+        help="token-bucket refill rate per tenant, jobs/second (default: 5)",
+    )
+    serve.add_argument(
+        "--tenant-burst",
+        type=float,
+        default=20.0,
+        help="token-bucket burst capacity per tenant (default: 20)",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit an AIGER file to a running serve daemon"
+    )
+    submit.add_argument("model", help="path to an .aag or .aig file")
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8123", help="daemon base URL"
+    )
+    submit.add_argument(
+        "--engine",
+        choices=available_engines(include_aliases=True),
+        default="ic3-pl",
+        help="engine to request (default: ic3-pl)",
+    )
+    submit.add_argument("--timeout", type=float, default=None, help="job time budget")
+    submit.add_argument(
+        "--tenant", default="cli", help="X-Tenant header value (default: cli)"
+    )
+    submit.add_argument(
+        "--priority", type=int, default=0, help="queue priority (lower runs first)"
+    )
+    submit.add_argument(
+        "--all-properties",
+        action="store_true",
+        help="verify every property via the scheduler",
+    )
+    submit.add_argument(
+        "--no-reduce", action="store_true", help="skip reduction preprocessing"
+    )
+    submit.add_argument(
+        "--wait",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="poll until the job finishes (at most SECONDS); exit code follows "
+        "the verdict: 0 safe, 1 unsafe, 2 unknown/failed",
+    )
+
     sub.add_parser(
         "version",
         help="print version and registry diagnostics (engines, backends, passes)",
@@ -233,6 +327,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_evaluate(args)
     if args.command == "suite":
         return _command_suite(args)
+    if args.command == "serve":
+        return _command_serve(args)
+    if args.command == "submit":
+        return _command_submit(args)
     if args.command == "version":
         return _command_version(args)
     return 2  # pragma: no cover - argparse enforces the choices
@@ -537,6 +635,97 @@ def _command_suite(args: argparse.Namespace) -> int:
         for case in cases:
             print("  " + case.describe())
     return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import run_server
+    from repro.serve.service import VerificationService
+
+    service = VerificationService(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        max_jobs_per_worker=args.max_jobs_per_worker,
+        default_timeout=args.default_timeout,
+        max_timeout=args.max_timeout,
+        cache_size=args.cache_size,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+    )
+    run_server(service, host=args.host, port=args.port)
+    return 0
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    """HTTP client for a running ``repro-check serve`` daemon.
+
+    Binary ``.aig`` inputs are re-serialized as ASCII AAG locally so the
+    wire format is always the JSON envelope the daemon accepts.
+    """
+    import json
+    import urllib.error
+    import urllib.request
+
+    from repro.aiger.writer import to_aag_string
+
+    model_text = to_aag_string(read_aiger(args.model))
+    document = {
+        "model": model_text,
+        "engine": args.engine,
+        "priority": args.priority,
+    }
+    if args.timeout is not None:
+        document["timeout"] = args.timeout
+    if args.all_properties:
+        document["all_properties"] = True
+    if args.no_reduce:
+        document["reduce"] = False
+    base = args.url.rstrip("/")
+    request = urllib.request.Request(
+        base + "/jobs",
+        data=json.dumps(document).encode("utf-8"),
+        headers={"Content-Type": "application/json", "X-Tenant": args.tenant},
+        method="POST",
+    )
+
+    def _send(req):
+        try:
+            with urllib.request.urlopen(req, timeout=30) as response:
+                return response.status, json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read().decode("utf-8"))
+
+    status, payload = _send(request)
+    if status not in (200, 202):
+        retry = payload.get("retry_after")
+        suffix = f" (retry after {retry}s)" if retry is not None else ""
+        print(f"submission rejected ({status}): {payload.get('error')}{suffix}")
+        return 2
+    job_id = payload["id"]
+    if payload.get("cache_hit"):
+        print(f"{job_id}: served from cache")
+    else:
+        print(f"{job_id}: {payload['status']}")
+    if args.wait is None:
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    deadline = time.monotonic() + args.wait
+    while payload.get("status") not in ("done", "failed"):
+        if time.monotonic() >= deadline:
+            print(f"{job_id}: still {payload.get('status')} after {args.wait}s")
+            return 2
+        time.sleep(min(0.5, max(0.05, deadline - time.monotonic())))
+        status, payload = _send(
+            urllib.request.Request(base + f"/jobs/{job_id}", method="GET")
+        )
+        if status != 200:
+            print(f"poll failed ({status}): {payload.get('error')}")
+            return 2
+    print(json.dumps(payload, indent=2))
+    result = (payload.get("result") or {}).get("result")
+    if payload.get("status") == "failed":
+        return 2
+    return {"safe": 0, "unsafe": 1}.get(result, 2)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -60,6 +60,21 @@ Schema v5 (``repro-check/manifest/v5``) additions over v4:
   (clause-storage garbage collections) and ``solver_removed_clauses``
   (lazily deleted clauses: reduce-DB victims, removed guarded clauses
   and purged learnts).
+
+Schema v6 (``repro-check/manifest/v6``) additions over v5:
+
+* optional top-level ``service`` — when the run was produced through the
+  ``repro.serve`` daemon (or its smoke benchmark), a block describing
+  the serving context: the service counters of
+  :data:`repro.serve.metrics.COUNTERS` (jobs submitted/completed/failed,
+  cache hits/misses, queue and budget rejections, worker
+  recycles/crashes/timeouts, reduction reuses) plus any transport
+  details the producer adds.  ``None`` for plain ``repro-check
+  evaluate`` runs, so readers that ignore unknown keys keep working;
+* per-result records produced by the daemon follow the same shape as
+  harness results (``result``/``runtime``/``engine``/``stats``/
+  ``reduction``/``properties``/``transformation``/``witness``), with an
+  additional ``cache_hit`` flag on the job envelope.
 """
 
 from __future__ import annotations
@@ -71,7 +86,7 @@ from typing import Dict, Optional, Sequence
 from repro.harness.configs import EngineConfig
 from repro.harness.runner import CaseResult, SuiteResult
 
-MANIFEST_SCHEMA = "repro-check/manifest/v5"
+MANIFEST_SCHEMA = "repro-check/manifest/v6"
 
 
 def _reduction_sizes(result: CaseResult) -> Optional[Dict[str, object]]:
@@ -95,6 +110,7 @@ def build_manifest(
     reduce: bool = True,
     configs: Optional[Sequence[EngineConfig]] = None,
     wall_clock: Optional[float] = None,
+    service: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """Assemble the JSON-serializable manifest of one harness run."""
     config_meta = {
@@ -162,6 +178,7 @@ def build_manifest(
         "totals": totals,
         "results": results,
         "wall_clock": round(wall_clock, 6) if wall_clock is not None else None,
+        "service": service,
     }
 
 

@@ -1,0 +1,44 @@
+"""Verification-as-a-service: async job daemon over the engine stack.
+
+The package layers, bottom to top:
+
+* :mod:`repro.serve.protocol` — job options, cache keys, wire records;
+* :mod:`repro.serve.jobqueue` — bounded priority queue + tenant token
+  buckets (backpressure primitives);
+* :mod:`repro.serve.cache` — structural-hash LRU result cache;
+* :mod:`repro.serve.workers` — warm worker-process pool with hard
+  deadlines, crash recovery and recycling;
+* :mod:`repro.serve.service` — the transport-agnostic service core;
+* :mod:`repro.serve.server` — the stdlib asyncio HTTP/JSON front end.
+
+``repro-check serve`` starts the daemon; ``repro-check submit`` is a
+matching client.  See the README "Serving" section for the API.
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.jobqueue import BudgetExceeded, JobQueue, QueueFull, TenantBudgets, TokenBucket
+from repro.serve.metrics import COUNTERS, Metrics
+from repro.serve.protocol import JobOptions, ProtocolError, cache_key, parse_job_body
+from repro.serve.server import JobServer, run_server
+from repro.serve.service import Job, VerificationService
+from repro.serve.workers import WarmWorkerPool
+
+__all__ = [
+    "BudgetExceeded",
+    "COUNTERS",
+    "Job",
+    "JobOptions",
+    "JobQueue",
+    "JobServer",
+    "Metrics",
+    "ProtocolError",
+    "QueueFull",
+    "ResultCache",
+    "TenantBudgets",
+    "TokenBucket",
+    "VerificationService",
+    "WarmWorkerPool",
+    "cache_key",
+    "parse_job_body",
+    "run_server",
+]

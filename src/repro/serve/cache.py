@@ -1,0 +1,63 @@
+"""Structural-hash result cache.
+
+Keys are ``digest × options`` strings built by
+:func:`repro.serve.protocol.cache_key`: the model component is the
+order-independent :func:`~repro.aiger.digest.structural_digest`, so a
+resubmission of the same circuit — or any isomorphic rebuild of it:
+permuted gates, renumbered variables, swapped AND operands, added dead
+logic — with the same verdict-relevant engine options hits the cache and
+never reaches a solver.
+
+Only *solved* verdicts (SAFE/UNSAFE with their witness records) are
+stored: UNKNOWN results depend on the time budget of the run that
+produced them, so caching them could mask a verdict a longer budget
+would find.  Eviction is LRU with a fixed entry budget.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+
+class ResultCache:
+    """Thread-safe LRU mapping cache keys to finished result records."""
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries <= 0:
+            raise ValueError("cache size must be positive")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached record (a private copy), refreshing its LRU position."""
+        with self._lock:
+            record = self._entries.get(key)
+            if record is None:
+                return None
+            self._entries.move_to_end(key)
+            return copy.deepcopy(record)
+
+    def put(self, key: str, record: Dict[str, Any]) -> bool:
+        """Store a finished record; only solved, error-free runs are kept."""
+        if record.get("error") is not None:
+            return False
+        if record.get("result") not in ("safe", "unsafe"):
+            return False
+        with self._lock:
+            self._entries[key] = copy.deepcopy(record)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,148 @@
+"""Bounded priority job queue and per-tenant admission budgets.
+
+The service admits work through two gates:
+
+* a **token bucket per tenant** (:class:`TenantBudgets`, keyed by the
+  ``X-Tenant`` header) — a tenant gets ``burst`` tokens refilled at
+  ``rate`` tokens/second; an empty bucket means HTTP 429 with a
+  ``Retry-After`` telling the client when the next token lands;
+* a **bounded priority queue** (:class:`JobQueue`) — lower ``priority``
+  numbers dequeue first, FIFO within one priority level (a monotonic
+  sequence number breaks ties, so equal-priority jobs never starve each
+  other).  A full queue raises :class:`QueueFull` and the server answers
+  503 with a ``Retry-After`` estimated from the queue's drain rate.
+
+Both are plain thread-safe objects: the asyncio HTTP handlers and the
+worker-pool dispatcher thread touch them concurrently.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+class QueueFull(Exception):
+    """The job queue is at capacity (maps to HTTP 503)."""
+
+    def __init__(self, retry_after: float):
+        super().__init__(f"job queue is full, retry after ~{retry_after:.0f}s")
+        self.retry_after = retry_after
+
+
+class BudgetExceeded(Exception):
+    """A tenant is over its token budget (maps to HTTP 429)."""
+
+    def __init__(self, tenant: str, retry_after: float):
+        super().__init__(
+            f"tenant {tenant!r} is over budget, retry after ~{retry_after:.1f}s"
+        )
+        self.tenant = tenant
+        self.retry_after = retry_after
+
+
+class JobQueue:
+    """Thread-safe bounded priority queue of ``(priority, item)`` entries."""
+
+    def __init__(self, maxsize: int = 16):
+        if maxsize <= 0:
+            raise ValueError("queue depth must be positive")
+        self.maxsize = maxsize
+        self._heap: List[Tuple[int, int, Any]] = []
+        self._seq = itertools.count()
+        self._cond = threading.Condition()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._heap)
+
+    def put(self, item: Any, priority: int = 0, *, retry_after: float = 1.0) -> None:
+        """Enqueue; raises :class:`QueueFull` instead of blocking."""
+        with self._cond:
+            if len(self._heap) >= self.maxsize:
+                raise QueueFull(retry_after)
+            heapq.heappush(self._heap, (priority, next(self._seq), item))
+            self._cond.notify()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Dequeue the highest-priority item; None when empty past ``timeout``."""
+        with self._cond:
+            if not self._heap and timeout:
+                self._cond.wait(timeout)
+            if not self._heap:
+                return None
+            return heapq.heappop(self._heap)[2]
+
+    def drain(self) -> List[Any]:
+        """Remove and return everything still queued (shutdown path)."""
+        with self._cond:
+            items = [entry[2] for entry in sorted(self._heap)]
+            self._heap.clear()
+            return items
+
+
+class TokenBucket:
+    """Classic token bucket: ``burst`` capacity, ``rate`` tokens/second."""
+
+    def __init__(self, rate: float, burst: float, clock: Callable[[], float] = time.monotonic):
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = burst
+        self._updated = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._updated) * self.rate)
+        self._updated = now
+
+    def try_acquire(self, tokens: float = 1.0) -> Optional[float]:
+        """Take ``tokens`` if available; otherwise the seconds until they are."""
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return None
+        return (tokens - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+
+class TenantBudgets:
+    """One token bucket per tenant, created lazily on first submission."""
+
+    def __init__(
+        self,
+        rate: float = 5.0,
+        burst: float = 20.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def admit(self, tenant: str) -> None:
+        """Charge one token; raises :class:`BudgetExceeded` when empty."""
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.rate, self.burst, clock=self._clock
+                )
+            retry_after = bucket.try_acquire()
+        if retry_after is not None:
+            raise BudgetExceeded(tenant, retry_after)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Remaining tokens per tenant (for /metrics)."""
+        with self._lock:
+            return {name: round(bucket.tokens, 3) for name, bucket in self._buckets.items()}

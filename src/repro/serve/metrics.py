@@ -1,0 +1,54 @@
+"""Service metrics: monotonic counters plus computed gauges.
+
+Every counter is declared up front so ``GET /metrics`` always exposes the
+full set (zeros included) — scrapers never have to guess whether a
+missing counter means "zero" or "renamed".  Counters are monotonic over
+the life of the process; gauges (queue depth, busy workers, tenant
+tokens) are sampled at scrape time by the service.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict
+
+COUNTERS = (
+    "jobs_submitted",
+    "jobs_completed",
+    "jobs_failed",
+    "cache_hits",
+    "cache_misses",
+    "queue_rejections",
+    "budget_rejections",
+    "worker_recycles",
+    "worker_crashes",
+    "worker_timeouts",
+    "reduction_reuses",
+)
+
+
+class Metrics:
+    """Thread-safe counter registry with a JSON-ready snapshot."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {name: 0 for name in COUNTERS}
+        self._started = time.time()
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            if name not in self._counters:
+                raise KeyError(f"undeclared metric {name!r}")
+            self._counters[name] += amount
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counters[name]
+
+    def snapshot(self) -> Dict[str, object]:
+        """All counters plus process uptime, JSON-serializable."""
+        with self._lock:
+            data: Dict[str, object] = dict(self._counters)
+        data["uptime_seconds"] = round(time.time() - self._started, 3)
+        return data

@@ -1,0 +1,183 @@
+"""Asyncio HTTP/JSON front end of the verification service.
+
+A deliberately small stdlib-only HTTP/1.1 implementation over
+``asyncio.start_server`` — no framework, no threads per connection.
+Endpoints:
+
+* ``POST /jobs`` — submit a model (raw ``aag`` text or a JSON envelope,
+  see :func:`repro.serve.protocol.parse_job_body`).  Responses: 200 with
+  the finished job on a cache hit, 202 with the queued job id, 400 on
+  malformed input, 429 (tenant over budget) and 503 (queue full) both
+  with a ``Retry-After`` header;
+* ``GET /jobs/{id}`` — poll one job (``queued``/``running``/``done``/
+  ``failed`` plus the result record once finished);
+* ``GET /jobs`` — id/status summaries of tracked jobs;
+* ``GET /health`` — liveness + pool/queue occupancy;
+* ``GET /metrics`` — the counters of :mod:`repro.serve.metrics` plus
+  sampled gauges, as JSON.
+
+Submissions are parsed and digested off the event loop (in the default
+executor) so a large model cannot stall polling clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.serve.service import VerificationService
+
+MAX_BODY_BYTES = 16 * 1024 * 1024
+_REQUEST_TIMEOUT = 30.0
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class JobServer:
+    """HTTP front end bound to one :class:`VerificationService`."""
+
+    def __init__(self, service: VerificationService, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        self.service.start()
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.service.stop()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- request handling ----------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        try:
+            status, headers, payload = await asyncio.wait_for(
+                self._process(reader), timeout=_REQUEST_TIMEOUT
+            )
+        except asyncio.TimeoutError:
+            status, headers, payload = 400, {}, {"error": "request timed out"}
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            writer.close()
+            return
+        except Exception as exc:  # noqa: BLE001 - a handler bug must not kill the loop
+            status, headers, payload = 500, {}, {"error": f"{type(exc).__name__}: {exc}"}
+        body = json.dumps(payload, indent=2).encode("utf-8") + b"\n"
+        reason = _REASONS.get(status, "Unknown")
+        lines = [f"HTTP/1.1 {status} {reason}"]
+        headers.setdefault("Content-Type", "application/json")
+        headers["Content-Length"] = str(len(body))
+        headers["Connection"] = "close"
+        for name, value in headers.items():
+            lines.append(f"{name}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body)
+        try:
+            await writer.drain()
+        except ConnectionResetError:  # pragma: no cover - client went away
+            pass
+        writer.close()
+
+    async def _process(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, Dict[str, str], Dict[str, Any]]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            return 400, {}, {"error": "empty request"}
+        parts = request_line.split()
+        if len(parts) != 3:
+            return 400, {}, {"error": f"malformed request line: {request_line!r}"}
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
+            if not line:
+                break
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            return 413, {}, {"error": f"body exceeds {MAX_BODY_BYTES} bytes"}
+        if length:
+            body = await reader.readexactly(length)
+        return await self._route(method, target.split("?", 1)[0], headers, body)
+
+    async def _route(
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, Dict[str, str], Dict[str, Any]]:
+        if path == "/jobs" and method == "POST":
+            tenant = headers.get("x-tenant", "anonymous") or "anonymous"
+            loop = asyncio.get_running_loop()
+            status, payload = await loop.run_in_executor(
+                None, lambda: self.service.submit_raw(body, tenant=tenant)
+            )
+            extra: Dict[str, str] = {}
+            if status in (429, 503) and "retry_after" in payload:
+                extra["Retry-After"] = str(payload["retry_after"])
+            if status in (200, 202):
+                extra["Location"] = f"/jobs/{payload['id']}"
+            return status, extra, payload
+        if path.startswith("/jobs/") and method == "GET":
+            job = self.service.get_job(path[len("/jobs/"):])
+            if job is None:
+                return 404, {}, {"error": "unknown job id"}
+            return 200, {}, job
+        if path == "/jobs" and method == "GET":
+            return 200, {}, {"jobs": self.service.list_jobs()}
+        if path == "/health" and method == "GET":
+            return 200, {}, self.service.health()
+        if path == "/metrics" and method == "GET":
+            return 200, {}, self.service.metrics_snapshot()
+        if path in ("/jobs", "/health", "/metrics") or path.startswith("/jobs/"):
+            return 405, {"Allow": "GET, POST"}, {"error": f"method {method} not allowed"}
+        return 404, {}, {"error": f"no route for {path}"}
+
+
+def run_server(
+    service: VerificationService, host: str = "127.0.0.1", port: int = 8123
+) -> None:
+    """Blocking entry point used by ``repro-check serve`` (Ctrl-C stops)."""
+    server = JobServer(service, host=host, port=port)
+
+    async def _main() -> None:
+        await server.start()
+        print(f"repro-serve listening on {server.address}")
+        print("endpoints: POST /jobs, GET /jobs/{id}, GET /health, GET /metrics")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:  # pragma: no cover - shutdown path
+            pass
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        service.stop()

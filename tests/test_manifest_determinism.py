@@ -74,7 +74,7 @@ class TestManifestDeterminism:
 
     def test_substrate_stats_present_and_deterministic(self):
         manifest = _manifest(jobs=4)
-        assert manifest["schema"] == MANIFEST_SCHEMA == "repro-check/manifest/v5"
+        assert manifest["schema"] == MANIFEST_SCHEMA == "repro-check/manifest/v6"
         for result in manifest["results"]:
             stats = result["stats"]
             for field in (

@@ -1,0 +1,148 @@
+"""Tests for the service admission primitives: queue, budgets, cache."""
+
+import pytest
+
+from repro.serve.cache import ResultCache
+from repro.serve.jobqueue import (
+    BudgetExceeded,
+    JobQueue,
+    QueueFull,
+    TenantBudgets,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestJobQueue:
+    def test_priority_order_then_fifo(self):
+        queue = JobQueue(maxsize=8)
+        queue.put("low-a", 5)
+        queue.put("high", 0)
+        queue.put("low-b", 5)
+        queue.put("mid", 2)
+        assert [queue.get() for _ in range(4)] == ["high", "mid", "low-a", "low-b"]
+
+    def test_get_empty_returns_none(self):
+        assert JobQueue(maxsize=2).get(timeout=0) is None
+
+    def test_bounded(self):
+        queue = JobQueue(maxsize=2)
+        queue.put("a")
+        queue.put("b")
+        with pytest.raises(QueueFull) as excinfo:
+            queue.put("c", retry_after=7.0)
+        assert excinfo.value.retry_after == 7.0
+        # A slot freed by get() admits again.
+        assert queue.get() == "a"
+        queue.put("c")
+        assert len(queue) == 2
+
+    def test_drain_returns_priority_order_and_empties(self):
+        queue = JobQueue(maxsize=4)
+        queue.put("b", 1)
+        queue.put("a", 0)
+        assert queue.drain() == ["a", "b"]
+        assert len(queue) == 0
+
+    def test_rejects_nonpositive_depth(self):
+        with pytest.raises(ValueError):
+            JobQueue(maxsize=0)
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire() is None
+        assert bucket.try_acquire() is None
+        wait = bucket.try_acquire()
+        assert wait == pytest.approx(1.0)
+        clock.advance(0.5)
+        assert bucket.try_acquire() == pytest.approx(0.5)
+        clock.advance(0.5)
+        assert bucket.try_acquire() is None
+
+    def test_tokens_capped_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=3.0, clock=clock)
+        clock.advance(60.0)
+        assert bucket.tokens == 3.0
+
+
+class TestTenantBudgets:
+    def test_budgets_are_per_tenant(self):
+        clock = FakeClock()
+        budgets = TenantBudgets(rate=1.0, burst=1.0, clock=clock)
+        budgets.admit("alice")
+        with pytest.raises(BudgetExceeded) as excinfo:
+            budgets.admit("alice")
+        assert excinfo.value.tenant == "alice"
+        assert excinfo.value.retry_after == pytest.approx(1.0)
+        budgets.admit("bob")  # a fresh tenant has its own bucket
+
+    def test_refill_readmits(self):
+        clock = FakeClock()
+        budgets = TenantBudgets(rate=2.0, burst=1.0, clock=clock)
+        budgets.admit("alice")
+        clock.advance(0.5)
+        budgets.admit("alice")
+
+    def test_snapshot(self):
+        clock = FakeClock()
+        budgets = TenantBudgets(rate=1.0, burst=4.0, clock=clock)
+        budgets.admit("alice")
+        assert budgets.snapshot() == {"alice": 3.0}
+
+
+def solved(result="safe", **extra):
+    record = {"result": result, "error": None, "runtime": 0.1}
+    record.update(extra)
+    return record
+
+
+class TestResultCache:
+    def test_round_trip(self):
+        cache = ResultCache(max_entries=4)
+        assert cache.put("k", solved()) is True
+        assert cache.get("k")["result"] == "safe"
+
+    def test_only_solved_verdicts_cached(self):
+        cache = ResultCache(max_entries=4)
+        assert cache.put("u", solved(result="unknown")) is False
+        assert cache.put("e", solved(result="safe", error="boom")) is False
+        assert cache.get("u") is None
+        assert cache.get("e") is None
+        assert cache.put("s", solved(result="unsafe")) is True
+
+    def test_lru_eviction_and_refresh(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", solved())
+        cache.put("b", solved())
+        cache.get("a")  # refresh "a" so "b" is the LRU victim
+        cache.put("c", solved())
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+
+    def test_returns_private_copies(self):
+        cache = ResultCache(max_entries=2)
+        original = solved(witness={"steps": [1, 2]})
+        cache.put("k", original)
+        original["witness"]["steps"].append(3)
+        first = cache.get("k")
+        first["witness"]["steps"].append(4)
+        assert cache.get("k")["witness"]["steps"] == [1, 2]
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)

@@ -1,0 +1,193 @@
+"""Tests for the warm worker pool: execution, recycling, crash/timeout recovery.
+
+The hang/crash scenarios monkeypatch ``workers._execute_job`` in the
+parent *before* the pool forks its workers; with the default fork start
+method the children inherit the patched module, so a marker value in the
+job options can make a worker hang or die on demand.
+"""
+
+import multiprocessing
+import os
+import threading
+import time
+
+import pytest
+
+from repro.aiger.writer import to_aag_string
+from repro.benchgen import token_ring
+from repro.serve import workers
+from repro.serve.jobqueue import JobQueue
+from repro.serve.metrics import Metrics
+from repro.serve.protocol import JobOptions, text_sha
+from repro.serve.workers import WarmWorkerPool
+
+pytestmark = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="marker-based worker fault injection needs the fork start method",
+)
+
+MODEL_TEXT = to_aag_string(token_ring(2, safe=True).aig)
+
+# Marker values smuggled through JobOptions fields the real engines never
+# see at these magnitudes; the patched _execute_job keys off them.
+HANG_MARKER = 424242
+CRASH_MARKER = 434343
+
+
+def make_payload(job_id: str, *, timeout: float = 20.0, max_k: int = 20):
+    from repro.aiger.parser import parse_aiger
+
+    options = JobOptions(engine="ic3-pl", timeout=timeout, max_k=max_k)
+    return (
+        job_id,
+        {
+            "job_id": job_id,
+            "aig": parse_aiger(MODEL_TEXT),
+            "digest": "d" * 64,
+            "text_sha": text_sha(MODEL_TEXT),
+            "options": options,
+        },
+    )
+
+
+class Collector:
+    def __init__(self):
+        self.results = {}
+        self.kinds = {}
+        self.cond = threading.Condition()
+
+    def __call__(self, job_id, record, kind):
+        with self.cond:
+            self.results[job_id] = record
+            self.kinds[job_id] = kind
+            self.cond.notify_all()
+
+    def wait(self, count, timeout=60.0):
+        with self.cond:
+            ok = self.cond.wait_for(lambda: len(self.results) >= count, timeout)
+        assert ok, f"only {sorted(self.results)} finished"
+
+
+@pytest.fixture
+def fault_injection(monkeypatch):
+    original = workers._execute_job
+
+    def patched(payload, warm):
+        max_k = payload["options"].max_k
+        if max_k == HANG_MARKER:
+            time.sleep(120)
+        if max_k == CRASH_MARKER:
+            os._exit(17)
+        return original(payload, warm)
+
+    monkeypatch.setattr(workers, "_execute_job", patched)
+
+
+class TestWarmWorkerPool:
+    def test_executes_jobs_and_reports_verdicts(self):
+        queue = JobQueue(maxsize=8)
+        collector = Collector()
+        pool = WarmWorkerPool(queue, collector, size=2, metrics=Metrics())
+        pool.start()
+        try:
+            queue.put(make_payload("j1"))
+            queue.put(make_payload("j2"))
+            collector.wait(2)
+        finally:
+            pool.stop()
+        assert collector.kinds == {"j1": "ok", "j2": "ok"}
+        assert collector.results["j1"]["result"] == "safe"
+        assert collector.results["j1"]["error"] is None
+        assert not pool.alive
+
+    def test_warm_reduction_memo_reused_on_resubmission(self):
+        queue = JobQueue(maxsize=8)
+        collector = Collector()
+        pool = WarmWorkerPool(queue, collector, size=1, metrics=Metrics())
+        pool.start()
+        try:
+            queue.put(make_payload("first"))
+            collector.wait(1)
+            queue.put(make_payload("second"))
+            collector.wait(2)
+        finally:
+            pool.stop()
+        assert collector.results["first"]["warm"] == {"reduction_reused": False}
+        assert collector.results["second"]["warm"] == {"reduction_reused": True}
+
+    def test_recycles_worker_after_max_jobs(self):
+        queue = JobQueue(maxsize=8)
+        collector = Collector()
+        metrics = Metrics()
+        pool = WarmWorkerPool(
+            queue, collector, size=1, max_jobs_per_worker=1, metrics=metrics
+        )
+        pool.start()
+        try:
+            queue.put(make_payload("j1"))
+            queue.put(make_payload("j2"))
+            collector.wait(2)
+            deadline = time.monotonic() + 10
+            while metrics.get("worker_recycles") < 2 and time.monotonic() < deadline:
+                time.sleep(0.05)
+        finally:
+            pool.stop()
+        assert collector.kinds == {"j1": "ok", "j2": "ok"}
+        assert metrics.get("worker_recycles") >= 2
+
+    def test_crash_fails_job_and_preserves_queue(self, fault_injection):
+        queue = JobQueue(maxsize=8)
+        collector = Collector()
+        metrics = Metrics()
+        pool = WarmWorkerPool(queue, collector, size=1, metrics=metrics)
+        pool.start()
+        try:
+            queue.put(make_payload("boom", max_k=CRASH_MARKER))
+            queue.put(make_payload("survivor"))
+            collector.wait(2)
+        finally:
+            pool.stop()
+        assert collector.kinds["boom"] == "crash"
+        assert "died" in collector.results["boom"]["error"]
+        # The queued job outlived the crash and ran on the replacement.
+        assert collector.kinds["survivor"] == "ok"
+        assert collector.results["survivor"]["result"] == "safe"
+        assert metrics.get("worker_crashes") == 1
+
+    def test_hard_timeout_kills_worker_and_continues(self, fault_injection):
+        queue = JobQueue(maxsize=8)
+        collector = Collector()
+        metrics = Metrics()
+        pool = WarmWorkerPool(queue, collector, size=1, grace=0.0, metrics=metrics)
+        pool.start()
+        try:
+            queue.put(make_payload("stuck", timeout=0.3, max_k=HANG_MARKER))
+            queue.put(make_payload("after"))
+            collector.wait(2)
+        finally:
+            pool.stop()
+        assert collector.kinds["stuck"] == "timeout"
+        assert "hard timeout" in collector.results["stuck"]["error"]
+        assert collector.kinds["after"] == "ok"
+        assert metrics.get("worker_timeouts") == 1
+
+    def test_stop_with_running_job_reports_crash(self, fault_injection):
+        queue = JobQueue(maxsize=8)
+        collector = Collector()
+        pool = WarmWorkerPool(queue, collector, size=1, metrics=Metrics())
+        pool.start()
+        queue.put(make_payload("hanging", timeout=60.0, max_k=HANG_MARKER))
+        deadline = time.monotonic() + 10
+        while pool.busy_workers == 0 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert pool.busy_workers == 1
+        pool.stop()
+        assert collector.kinds["hanging"] == "crash"
+        assert "shut down" in collector.results["hanging"]["error"]
+
+    def test_rejects_bad_sizes(self):
+        queue = JobQueue(maxsize=2)
+        with pytest.raises(ValueError):
+            WarmWorkerPool(queue, lambda *a: None, size=0)
+        with pytest.raises(ValueError):
+            WarmWorkerPool(queue, lambda *a: None, size=1, max_jobs_per_worker=0)
