@@ -29,8 +29,10 @@ command line:
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
+from contextlib import nullcontext
 from typing import List, Optional
 
 from repro.aiger.parser import read_aiger
@@ -142,6 +144,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_reduction_arguments(check)
     check.add_argument("--verbose", action="store_true", help="per-frame progress")
+    check.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="record a full-stack trace of the run and write it as a "
+        "Chrome trace-event (Perfetto-loadable) JSON file to PATH",
+    )
 
     reduce_cmd = sub.add_parser(
         "reduce", help="shrink an AIGER file and report per-pass sizes"
@@ -208,6 +217,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="SAT kernel for every configuration (default: default)",
     )
     evaluate.add_argument("--verbose", action="store_true", help="per-case progress")
+    evaluate.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="record a pid/tid-tagged timeline of the whole evaluation "
+        "(parent + every worker process) to PATH as Chrome trace JSON",
+    )
+
+    trace_report = sub.add_parser(
+        "trace-report",
+        help="summarize a recorded trace into a per-phase hotspot table",
+    )
+    trace_report.add_argument(
+        "trace", help="path to a Chrome trace JSON or JSONL event file"
+    )
+    trace_report.add_argument(
+        "--validate",
+        action="store_true",
+        help="check the Chrome trace-event schema first; nonzero exit on problems",
+    )
 
     serve = sub.add_parser(
         "serve", help="run the verification-as-a-service HTTP daemon"
@@ -260,6 +289,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=20.0,
         help="token-bucket burst capacity per tenant (default: 20)",
+    )
+    serve.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        default=None,
+        help="record one JSONL trace per job into DIR and expose it at "
+        "GET /jobs/{id}/trace",
     )
 
     submit = sub.add_parser(
@@ -331,9 +367,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_serve(args)
     if args.command == "submit":
         return _command_submit(args)
+    if args.command == "trace-report":
+        return _command_trace_report(args)
     if args.command == "version":
         return _command_version(args)
     return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _maybe_trace(path: Optional[str], label: str):
+    """A ``trace_session`` writing to ``path``, or a no-op without one."""
+    if not path:
+        return nullcontext()
+    from repro.obs.tracer import trace_session
+
+    return trace_session(path, label=label)
+
+
+def _configure_verbose_logging(args: argparse.Namespace) -> None:
+    """Route the engines' ``logging`` progress output to stderr."""
+    if getattr(args, "verbose", False):
+        logging.basicConfig(
+            level=logging.INFO, format="%(message)s", stream=sys.stderr
+        )
 
 
 def _command_version(args: argparse.Namespace) -> int:
@@ -414,6 +469,15 @@ def _engine_kwargs(args: argparse.Namespace) -> dict:
 
 
 def _command_check(args: argparse.Namespace) -> int:
+    _configure_verbose_logging(args)
+    with _maybe_trace(args.trace_out, "check"):
+        exit_code = _check_body(args)
+    if args.trace_out:
+        print(f"Trace written to {args.trace_out}")
+    return exit_code
+
+
+def _check_body(args: argparse.Namespace) -> int:
     aig = read_aiger(args.model)
     options = IC3Options(verbose=1 if args.verbose else 0)
     if args.all_properties or args.property is not None:
@@ -505,6 +569,15 @@ def _command_reduce(args: argparse.Namespace) -> int:
 
 
 def _command_evaluate(args: argparse.Namespace) -> int:
+    _configure_verbose_logging(args)
+    with _maybe_trace(args.trace_out, "evaluate"):
+        exit_code = _evaluate_body(args)
+    if args.trace_out:
+        print(f"Trace written to {args.trace_out}")
+    return exit_code
+
+
+def _evaluate_body(args: argparse.Namespace) -> int:
     cases, suite_name = _select_suite(args)
     if suite_name == "liveness":
         # The liveness suite carries justice properties the paper's IC3
@@ -628,6 +701,30 @@ def _evaluate_liveness(args: argparse.Namespace, cases, suite_name: str) -> int:
     return exit_code
 
 
+def _command_trace_report(args: argparse.Namespace) -> int:
+    """Print the per-phase hotspot table of a recorded trace."""
+    from repro.obs import format_report, read_trace, validate_trace_file
+
+    try:
+        events = read_trace(args.trace)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read trace {args.trace!r}: {error}")
+        return 2
+    if args.validate:
+        problems = validate_trace_file(args.trace)
+        if problems:
+            print(f"{len(problems)} trace schema problem(s):")
+            for problem in problems[:20]:
+                print(f"  {problem}")
+            return 1
+        print(f"trace schema OK ({len(events)} events)")
+    if not events:
+        print("trace is empty")
+        return 0
+    print(format_report(events))
+    return 0
+
+
 def _command_suite(args: argparse.Namespace) -> int:
     cases, suite_name = _select_suite(args)
     print(f"{len(cases)} cases ({suite_name} suite)")
@@ -650,6 +747,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         tenant_rate=args.tenant_rate,
         tenant_burst=args.tenant_burst,
+        trace_dir=args.trace_dir,
     )
     run_server(service, host=args.host, port=args.port)
     return 0

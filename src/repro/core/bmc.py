@@ -20,6 +20,7 @@ from repro.core.result import (
     TraceStep,
 )
 from repro.core.stats import IC3Stats
+from repro.obs.tracer import get_tracer
 from repro.ts.unroll import Unroller
 
 
@@ -47,15 +48,23 @@ class BMC:
         """
         start = time.perf_counter()
         deadline = start + time_limit if time_limit is not None else None
+        tracer = get_tracer()
         for depth in range(max_depth + 1):
             if deadline is not None and time.perf_counter() > deadline:
                 return self._outcome(CheckResult.UNKNOWN, start, reason="time limit reached")
             bad_lit = self.unroller.bad_lit_at(depth, self.property_index)
             self.stats.sat_calls += 1
             sat_start = time.perf_counter()
-            satisfiable = self.unroller.solver.solve(
-                self.unroller.init_assumptions() + [bad_lit]
-            )
+            if tracer.enabled:
+                with tracer.span("bmc.depth", cat="bmc", depth=depth) as span:
+                    satisfiable = self.unroller.solver.solve(
+                        self.unroller.init_assumptions() + [bad_lit]
+                    )
+                    span.add(sat=satisfiable)
+            else:
+                satisfiable = self.unroller.solver.solve(
+                    self.unroller.init_assumptions() + [bad_lit]
+                )
             self.stats.sat_time += time.perf_counter() - sat_start
             if satisfiable:
                 trace = self._extract_trace(depth)

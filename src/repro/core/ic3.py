@@ -21,6 +21,7 @@ Typical use::
 
 from __future__ import annotations
 
+import logging
 import time
 from typing import Dict, Optional, Sequence, Tuple, Union
 
@@ -39,7 +40,15 @@ from repro.core.result import (
 )
 from repro.core.stats import IC3Stats
 from repro.logic.cube import Clause, Cube
+from repro.obs.tracer import get_tracer
 from repro.ts.system import TransitionSystem
+
+_LOG = logging.getLogger(__name__)
+"""Verbose progress goes through ``logging`` (namespace
+``repro.core.ic3``), not ``print``: parallel ``--jobs N`` runs no longer
+interleave garbage on stdout, and the same information lands in traces
+as instant events.  The CLI installs a handler when ``--verbose`` is
+given; library users configure logging themselves."""
 
 
 class IC3:
@@ -123,6 +132,7 @@ class IC3:
         while True:
             self._check_limits()
             top = self.frames.top_level
+            tracer = get_tracer()
 
             # Blocking phase: make F_top ⇒ P.
             while True:
@@ -130,7 +140,11 @@ class IC3:
                 bad = self.frames.get_bad_state(top)
                 if bad is None:
                     break
-                blocked, trace = self._block_bad_state(bad, top)
+                if tracer.enabled:
+                    with tracer.span("ic3.block", cat="ic3", level=top):
+                        blocked, trace = self._block_bad_state(bad, top)
+                else:
+                    blocked, trace = self._block_bad_state(bad, top)
                 if not blocked:
                     return CheckOutcome(
                         result=CheckResult.UNSAFE,
@@ -140,7 +154,11 @@ class IC3:
 
             if self.frames.top_level + 1 > self.options.max_frames:
                 return self._unknown("frame limit reached")
-            self.frames.add_frame()
+            if tracer.enabled:
+                with tracer.span("ic3.extend", cat="ic3", new_top=top + 1):
+                    self.frames.add_frame()
+            else:
+                self.frames.add_frame()
             invariant_level = self._propagate()
             if self.options.verbose >= 1:
                 self._log_frame_progress()
@@ -206,6 +224,13 @@ class IC3:
             self.stats.obligations_processed += 1
             if self.stats.obligations_processed > self.options.max_obligations:
                 raise _BudgetSignal("obligation limit reached")
+            get_tracer().sample(
+                "ic3.obligations",
+                self.stats.obligations_processed,
+                cat="ic3",
+                level=obligation.level,
+                depth=obligation.depth,
+            )
 
             if obligation.level == 0:
                 return False, self._build_trace(obligation)
@@ -214,7 +239,7 @@ class IC3:
                 self._requeue_above(queue, obligation)
                 continue
 
-            result = self.frames.consecution(obligation.level - 1, obligation.cube)
+            result = self._consecution(obligation.level - 1, obligation.cube)
             if result.holds:
                 base = self._usable_core(result.core_cube, obligation.cube)
                 lemma_cube, push_start = self._generalize(base, obligation)
@@ -222,8 +247,10 @@ class IC3:
                 self.frames.add_blocked_cube(lemma_cube, final_level)
                 self._bump_activity(lemma_cube)
                 if self.options.verbose >= 2:
-                    print(
-                        f"[ic3] blocked |cube|={len(lemma_cube)} at level {final_level}"
+                    _LOG.debug(
+                        "[ic3] blocked |cube|=%d at level %d",
+                        len(lemma_cube),
+                        final_level,
                     )
                 self._requeue_above(queue, obligation, at_level=final_level + 1)
             else:
@@ -269,6 +296,16 @@ class IC3:
             )
         )
 
+    def _consecution(self, level: int, cube: Cube):
+        """Relative-induction query, traced as an ``ic3.consecution`` span."""
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self.frames.consecution(level, cube)
+        with tracer.span("ic3.consecution", cat="ic3", level=level, size=len(cube)) as span:
+            result = self.frames.consecution(level, cube)
+            span.add(holds=result.holds)
+        return result
+
     def _usable_core(self, core_cube: Optional[Cube], original: Cube) -> Cube:
         """Use the consecution core as the generalization seed when sound."""
         if (
@@ -292,16 +329,31 @@ class IC3:
         """
         level = obligation.level
         self.stats.generalizations += 1
+        tracer = get_tracer()
 
         if self.options.enable_prediction:
             start = time.perf_counter()
-            prediction = self.predictor.predict(obligation.cube, level)
+            if tracer.enabled:
+                with tracer.span(
+                    "ic3.predict", cat="ic3", level=level, size=len(obligation.cube)
+                ) as span:
+                    prediction = self.predictor.predict(obligation.cube, level)
+                    span.add(hit=prediction is not None)
+            else:
+                prediction = self.predictor.predict(obligation.cube, level)
             self.stats.time_prediction += time.perf_counter() - start
             if prediction is not None:
                 return prediction.cube, level
 
         start = time.perf_counter()
-        generalized = self.generalizer.generalize(cube, level)
+        if tracer.enabled:
+            with tracer.span(
+                "ic3.generalize", cat="ic3", level=level, size=len(cube)
+            ) as span:
+                generalized = self.generalizer.generalize(cube, level)
+                span.add(final_size=len(generalized))
+        else:
+            generalized = self.generalizer.generalize(cube, level)
         self.stats.time_generalization += time.perf_counter() - start
         return generalized, level
 
@@ -314,7 +366,7 @@ class IC3:
         """
         current = level
         while current < self.frames.top_level:
-            result = self.frames.consecution(current, cube)
+            result = self._consecution(current, cube)
             if result.holds:
                 current += 1
                 continue
@@ -333,6 +385,17 @@ class IC3:
     # ------------------------------------------------------------------
     def _propagate(self) -> Optional[int]:
         """Push lemmas forward; returns the invariant level if a fixpoint appears."""
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._propagate_inner()
+        with tracer.span(
+            "ic3.propagate", cat="ic3", top=self.frames.top_level
+        ) as span:
+            invariant_level = self._propagate_inner()
+            span.add(fixpoint=invariant_level is not None)
+        return invariant_level
+
+    def _propagate_inner(self) -> Optional[int]:
         start = time.perf_counter()
         if self.options.enable_prediction and self.options.clear_ctp_before_propagation:
             self.predictor.clear_table()
@@ -341,7 +404,7 @@ class IC3:
         for level in range(1, self.frames.top_level):
             for cube in self.frames.lemmas_exactly_at(level):
                 self._check_limits()
-                result = self.frames.consecution(level, cube)
+                result = self._consecution(level, cube)
                 if result.holds:
                     self.frames.promote_cube(cube, level, level + 1)
                 else:
@@ -402,10 +465,20 @@ class IC3:
 
     def _log_frame_progress(self) -> None:
         counts = self.frames.lemma_counts()
-        print(
-            f"[ic3] k={self.frames.top_level} lemmas/level={counts} "
-            f"sat_calls={self.stats.sat_calls} "
-            f"predictions={self.stats.prediction_successes}/{self.stats.prediction_queries}"
+        _LOG.info(
+            "[ic3] k=%d lemmas/level=%s sat_calls=%d predictions=%d/%d",
+            self.frames.top_level,
+            counts,
+            self.stats.sat_calls,
+            self.stats.prediction_successes,
+            self.stats.prediction_queries,
+        )
+        get_tracer().instant(
+            "ic3.frame",
+            cat="ic3",
+            k=self.frames.top_level,
+            lemmas=sum(counts),
+            sat_calls=self.stats.sat_calls,
         )
 
 

@@ -23,6 +23,7 @@ from typing import Optional
 from repro.aiger.aig import AIG
 from repro.core.result import CheckOutcome, CheckResult, Certificate
 from repro.core.stats import IC3Stats
+from repro.obs.tracer import get_tracer
 from repro.ts.unroll import Unroller
 
 
@@ -57,7 +58,13 @@ class KInduction:
             bad = unroller.bad_lit_at(k - 1, self.property_index)
             self.stats.sat_calls += 1
             sat_start = time.perf_counter()
-            base_sat = unroller.solver.solve(unroller.init_assumptions() + [bad])
+            tracer = get_tracer()
+            if tracer.enabled:
+                with tracer.span("kind.base", cat="kind", k=k) as span:
+                    base_sat = unroller.solver.solve(unroller.init_assumptions() + [bad])
+                    span.add(sat=base_sat)
+            else:
+                base_sat = unroller.solver.solve(unroller.init_assumptions() + [bad])
             self.stats.sat_time += time.perf_counter() - sat_start
             if base_sat:
                 outcome = self._outcome(CheckResult.UNSAFE, start)
@@ -74,7 +81,12 @@ class KInduction:
             assumptions.append(unroller.bad_lit_at(k, self.property_index))
             self.stats.sat_calls += 1
             sat_start = time.perf_counter()
-            step_sat = unroller.solver.solve(assumptions)
+            if tracer.enabled:
+                with tracer.span("kind.step", cat="kind", k=k) as span:
+                    step_sat = unroller.solver.solve(assumptions)
+                    span.add(sat=step_sat)
+            else:
+                step_sat = unroller.solver.solve(assumptions)
             self.stats.sat_time += time.perf_counter() - sat_start
             if not step_sat:
                 outcome = self._outcome(CheckResult.SAFE, start)

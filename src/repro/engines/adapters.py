@@ -28,6 +28,7 @@ from repro.core.kinduction import KInduction
 from repro.core.options import IC3Options
 from repro.core.result import CheckOutcome
 from repro.engines.registry import register_engine
+from repro.obs.tracer import get_tracer
 from repro.reduce import ReductionResult, reduce_aig
 
 
@@ -55,6 +56,17 @@ def finish_outcome(
     if reduction is not None:
         outcome = reduction.lift_outcome(outcome)
         outcome.reduction = reduction.summary()
+    return outcome
+
+
+def traced_check(name, run, time_limit):
+    """Run an engine's check under an ``engine.<name>`` span."""
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return run(time_limit)
+    with tracer.span("engine." + name, cat="engine") as span:
+        outcome = run(time_limit)
+        span.add(result=outcome.result.value, frames=outcome.frames)
     return outcome
 
 
@@ -94,7 +106,9 @@ class IC3Engine:
         )
 
     def check(self, time_limit: Optional[float] = None) -> CheckOutcome:
-        outcome = self._engine.check(time_limit=time_limit)
+        outcome = traced_check(
+            self.name, lambda limit: self._engine.check(time_limit=limit), time_limit
+        )
         outcome = finish_outcome(outcome, self.reduction)
         outcome.engine = self.name
         return outcome
@@ -125,7 +139,11 @@ class BMCEngine:
         self._engine = BMC(model, property_index=model_property, sat_backend=sat_backend)
 
     def check(self, time_limit: Optional[float] = None) -> CheckOutcome:
-        outcome = self._engine.check(max_depth=self.max_depth, time_limit=time_limit)
+        outcome = traced_check(
+            self.name,
+            lambda limit: self._engine.check(max_depth=self.max_depth, time_limit=limit),
+            time_limit,
+        )
         return finish_outcome(outcome, self.reduction)
 
 
@@ -156,7 +174,11 @@ class KInductionEngine:
         )
 
     def check(self, time_limit: Optional[float] = None) -> CheckOutcome:
-        outcome = self._engine.check(max_k=self.max_k, time_limit=time_limit)
+        outcome = traced_check(
+            self.name,
+            lambda limit: self._engine.check(max_k=self.max_k, time_limit=limit),
+            time_limit,
+        )
         return finish_outcome(outcome, self.reduction)
 
 

@@ -30,6 +30,11 @@ from repro.core.result import CheckOutcome, CheckResult
 from repro.core.stats import IC3Stats
 from repro.engines.adapters import finish_outcome, prepare_model
 from repro.engines.registry import canonical_name, create_engine, register_engine
+from repro.obs.tracer import (
+    get_tracer,
+    maybe_install_worker_tracer,
+    shutdown_worker_tracer,
+)
 
 DEFAULT_PORTFOLIO: Tuple[str, ...] = ("ic3-pl", "bmc", "kind")
 
@@ -39,11 +44,23 @@ _POLL_INTERVAL = 0.05
 
 def _run_member(conn, engine_name, aig, options, property_index, time_limit, kwargs):
     """Subprocess body: build one member engine, run it, ship the outcome back."""
+    maybe_install_worker_tracer(f"portfolio-{engine_name}")
     try:
-        engine = create_engine(
-            engine_name, aig, options=options, property_index=property_index, **kwargs
-        )
-        outcome = engine.check(time_limit=time_limit)
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "portfolio.member", cat="engine", member=engine_name
+            ) as span:
+                engine = create_engine(
+                    engine_name, aig, options=options, property_index=property_index, **kwargs
+                )
+                outcome = engine.check(time_limit=time_limit)
+                span.add(result=outcome.result.value)
+        else:
+            engine = create_engine(
+                engine_name, aig, options=options, property_index=property_index, **kwargs
+            )
+            outcome = engine.check(time_limit=time_limit)
         conn.send(("ok", outcome))
     except BaseException as exc:  # noqa: BLE001 - must not kill the pipe silently
         try:
@@ -51,6 +68,7 @@ def _run_member(conn, engine_name, aig, options, property_index, time_limit, kwa
         except (BrokenPipeError, OSError):
             pass
     finally:
+        shutdown_worker_tracer()
         conn.close()
 
 
@@ -101,6 +119,17 @@ class PortfolioEngine:
     # ------------------------------------------------------------------
     def check(self, time_limit: Optional[float] = None) -> CheckOutcome:
         """Race the members; return the first definite verdict."""
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._check_inner(time_limit)
+        with tracer.span(
+            "portfolio.race", cat="engine", members=list(self.engines)
+        ) as span:
+            outcome = self._check_inner(time_limit)
+            span.add(winner=outcome.winner, result=outcome.result.value)
+        return outcome
+
+    def _check_inner(self, time_limit: Optional[float] = None) -> CheckOutcome:
         start = time.perf_counter()
         deadline = start + time_limit if time_limit is not None else None
         hard_deadline = (

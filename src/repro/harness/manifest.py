@@ -75,6 +75,18 @@ Schema v6 (``repro-check/manifest/v6``) additions over v5:
   harness results (``result``/``runtime``/``engine``/``stats``/
   ``reduction``/``properties``/``transformation``/``witness``), with an
   additional ``cache_hit`` flag on the job envelope.
+
+Schema v7 (``repro-check/manifest/v7``) additions over v6:
+
+* per-configuration ``phase_times`` in ``totals`` — a wall-clock
+  attribution dict summed over the configuration's cases from the
+  engines' own phase timers: ``sat`` (inside SAT solver calls),
+  ``generalization``, ``prediction``, ``propagation``, ``reduction``
+  (preprocessing pipeline) and ``other`` (total minus the above, the
+  engine's bookkeeping and blocking overhead).  Seconds, rounded to
+  microseconds.  The same attribution is available per run, at full
+  span granularity, through ``repro-check evaluate --trace-out`` and
+  ``repro-check trace-report`` (the :mod:`repro.obs` tracing layer).
 """
 
 from __future__ import annotations
@@ -86,7 +98,46 @@ from typing import Dict, Optional, Sequence
 from repro.harness.configs import EngineConfig
 from repro.harness.runner import CaseResult, SuiteResult
 
-MANIFEST_SCHEMA = "repro-check/manifest/v6"
+MANIFEST_SCHEMA = "repro-check/manifest/v7"
+
+
+def _phase_times(results: Sequence[CaseResult]) -> Dict[str, float]:
+    """Sum per-phase wall-clock attribution over one configuration's runs.
+
+    Built from the engines' own phase timers (``IC3Stats.time_*``,
+    ``sat_time``) and the reduction pipeline's recorded ``elapsed``;
+    ``other`` is whatever of the total the named phases do not explain.
+    """
+    phases = {
+        "sat": 0.0,
+        "generalization": 0.0,
+        "prediction": 0.0,
+        "propagation": 0.0,
+        "reduction": 0.0,
+        "other": 0.0,
+    }
+    for result in results:
+        stats = result.stats
+        phases["sat"] += stats.sat_time
+        phases["generalization"] += stats.time_generalization
+        phases["prediction"] += stats.time_prediction
+        phases["propagation"] += stats.time_propagation
+        reduction_elapsed = 0.0
+        if result.reduction:
+            reduction_elapsed = float(result.reduction.get("elapsed") or 0.0)
+        phases["reduction"] += reduction_elapsed
+        attributed = (
+            stats.sat_time
+            + stats.time_generalization
+            + stats.time_prediction
+            + stats.time_propagation
+            + reduction_elapsed
+        )
+        # Generalization/prediction/propagation all sit on top of SAT
+        # calls they issue, so "attributed" can legitimately exceed the
+        # runtime; never report negative slack for that.
+        phases["other"] += max(0.0, result.runtime - attributed)
+    return {name: round(value, 6) for name, value in phases.items()}
 
 
 def _reduction_sizes(result: CaseResult) -> Optional[Dict[str, object]]:
@@ -161,6 +212,7 @@ def build_manifest(
             "par1_time": round(
                 sum(r.penalized_runtime for r in suite_result.by_config(name)), 6
             ),
+            "phase_times": _phase_times(suite_result.by_config(name)),
         }
         for name in suite_result.configs()
     }

@@ -25,6 +25,12 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.obs.tracer import (
+    get_tracer,
+    maybe_install_worker_tracer,
+    shutdown_worker_tracer,
+)
+
 _POLL_INTERVAL = 0.05
 
 
@@ -67,14 +73,22 @@ def _worker_shim(conn, worker, payload):
         os.setpgid(0, 0)
     except OSError:  # pragma: no cover - already a group leader
         pass
+    maybe_install_worker_tracer("harness")
     try:
-        conn.send(("ok", worker(payload)))
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span("harness.task", cat="harness"):
+                value = worker(payload)
+        else:
+            value = worker(payload)
+        conn.send(("ok", value))
     except BaseException as exc:  # noqa: BLE001 - report, never hang the pipe
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
         except (BrokenPipeError, OSError):
             pass
     finally:
+        shutdown_worker_tracer()
         conn.close()
 
 

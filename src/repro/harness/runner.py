@@ -22,6 +22,7 @@ from repro.core.stats import IC3Stats
 from repro.engines.registry import create_engine
 from repro.harness.configs import EngineConfig
 from repro.harness.pool import PoolResult, map_with_hard_timeout
+from repro.obs.tracer import get_tracer
 
 
 @dataclass
@@ -183,13 +184,29 @@ def _execute_case(spec: _TaskSpec) -> CaseResult:
     """
     engine_kwargs = dict(spec.config.engine_kwargs)
     engine_kwargs.setdefault("reduce", spec.reduce)
+    tracer = get_tracer()
     start = time.perf_counter()
-    engine = create_engine(
-        spec.config.engine, spec.case.aig, options=spec.config.options,
-        **engine_kwargs,
-    )
-    remaining = max(0.0, spec.timeout - (time.perf_counter() - start))
-    outcome = engine.check(time_limit=remaining)
+    if tracer.enabled:
+        with tracer.span(
+            "harness.case",
+            cat="harness",
+            case=spec.case.name,
+            config=spec.config.name,
+        ) as span:
+            engine = create_engine(
+                spec.config.engine, spec.case.aig, options=spec.config.options,
+                **engine_kwargs,
+            )
+            remaining = max(0.0, spec.timeout - (time.perf_counter() - start))
+            outcome = engine.check(time_limit=remaining)
+            span.add(result=outcome.result.value)
+    else:
+        engine = create_engine(
+            spec.config.engine, spec.case.aig, options=spec.config.options,
+            **engine_kwargs,
+        )
+        remaining = max(0.0, spec.timeout - (time.perf_counter() - start))
+        outcome = engine.check(time_limit=remaining)
     runtime = time.perf_counter() - start
     validated = _validate(spec.case, outcome) if spec.validate else None
     return CaseResult(

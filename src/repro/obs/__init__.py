@@ -1,0 +1,61 @@
+"""Full-stack tracing and profiling (``repro.obs``).
+
+The observability layer of the checker: a process/thread-aware
+:class:`~repro.obs.tracer.Tracer` with span and instant-event APIs that
+compile to no-ops when disabled, JSONL sinks and a bounded
+flight-recorder ring for post-mortems of hard-killed workers, Chrome
+trace-event (Perfetto-loadable) export with cross-process stitching, and
+hotspot reports.  Surfaces: ``repro-check check/evaluate --trace-out``,
+``repro-check trace-report``, and ``GET /jobs/{id}/trace`` on the serve
+daemon.
+"""
+
+from repro.obs.export import (
+    collect_worker_events,
+    read_jsonl_events,
+    read_trace,
+    stitch,
+    to_chrome_document,
+    validate_chrome_trace,
+    validate_trace_file,
+    write_chrome_trace,
+)
+from repro.obs.report import format_report, hotspots, phase_totals
+from repro.obs.tracer import (
+    NULL_TRACER,
+    TRACE_DIR_ENV,
+    JsonlSink,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    install,
+    maybe_install_worker_tracer,
+    shutdown_worker_tracer,
+    trace_session,
+    uninstall,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "TRACE_DIR_ENV",
+    "JsonlSink",
+    "NullTracer",
+    "Tracer",
+    "collect_worker_events",
+    "format_report",
+    "get_tracer",
+    "hotspots",
+    "install",
+    "maybe_install_worker_tracer",
+    "phase_totals",
+    "read_jsonl_events",
+    "read_trace",
+    "shutdown_worker_tracer",
+    "stitch",
+    "to_chrome_document",
+    "trace_session",
+    "uninstall",
+    "validate_chrome_trace",
+    "validate_trace_file",
+    "write_chrome_trace",
+]

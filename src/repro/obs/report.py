@@ -1,0 +1,118 @@
+"""Hotspot aggregation over traces.
+
+Turns a timeline of Chrome complete events into a per-phase table:
+inclusive time (span durations as recorded), *self* time (inclusive
+minus the time spent in nested spans on the same process/thread — the
+number that sums to wall clock without double counting), span counts and
+shares.  ``repro-check trace-report`` prints the result; tests and the
+CI trace-smoke gate consume the raw rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+from repro.obs.export import wall_span_us
+
+
+@dataclass
+class PhaseRow:
+    """Aggregated numbers of one phase (event category)."""
+
+    phase: str
+    spans: int = 0
+    instants: int = 0
+    inclusive_us: float = 0.0
+    self_us: float = 0.0
+
+    @property
+    def inclusive_ms(self) -> float:
+        return self.inclusive_us / 1000.0
+
+    @property
+    def self_ms(self) -> float:
+        return self.self_us / 1000.0
+
+
+def _self_times(events: List[Dict[str, Any]]) -> Dict[int, float]:
+    """Exclusive duration of every complete event, by event index.
+
+    Events are grouped per (pid, tid) and processed in start order with
+    a span stack: a span's self time is its duration minus the durations
+    of its direct children.  Identical-timestamp nesting resolves by
+    longer-span-first, matching how the events were recorded.
+    """
+    self_us: Dict[int, float] = {}
+    by_track: Dict[Any, List[int]] = {}
+    for index, event in enumerate(events):
+        if event.get("ph") != "X":
+            continue
+        if not isinstance(event.get("ts"), (int, float)):
+            continue
+        by_track.setdefault((event.get("pid"), event.get("tid")), []).append(index)
+
+    for indices in by_track.values():
+        indices.sort(key=lambda i: (events[i]["ts"], -events[i].get("dur", 0)))
+        stack: List[int] = []  # indices of open enclosing spans
+        for index in indices:
+            start = events[index]["ts"]
+            duration = events[index].get("dur", 0) or 0
+            while stack and events[stack[-1]]["ts"] + (
+                events[stack[-1]].get("dur", 0) or 0
+            ) <= start:
+                stack.pop()
+            self_us[index] = float(duration)
+            if stack:
+                self_us[stack[-1]] -= duration
+            stack.append(index)
+    return self_us
+
+
+def hotspots(events: List[Dict[str, Any]]) -> List[PhaseRow]:
+    """Aggregate a timeline into per-phase rows, largest self time first."""
+    self_us = _self_times(events)
+    rows: Dict[str, PhaseRow] = {}
+    for index, event in enumerate(events):
+        phase = str(event.get("cat") or "uncategorized")
+        row = rows.setdefault(phase, PhaseRow(phase=phase))
+        if event.get("ph") == "X":
+            row.spans += 1
+            row.inclusive_us += float(event.get("dur", 0) or 0)
+            row.self_us += max(0.0, self_us.get(index, 0.0))
+        elif event.get("ph") == "i":
+            row.instants += 1
+    return sorted(rows.values(), key=lambda r: r.self_us, reverse=True)
+
+
+def format_report(events: List[Dict[str, Any]]) -> str:
+    """Render the hotspot table plus wall-clock coverage summary."""
+    rows = hotspots(events)
+    wall_us = wall_span_us(events) or 0.0
+    total_self = sum(row.self_us for row in rows)
+    header = (
+        f"{'phase':<14s} {'spans':>8s} {'instants':>9s} "
+        f"{'total ms':>12s} {'self ms':>12s} {'self %':>8s}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        share = 100.0 * row.self_us / total_self if total_self else 0.0
+        lines.append(
+            f"{row.phase:<14s} {row.spans:>8d} {row.instants:>9d} "
+            f"{row.inclusive_ms:>12.2f} {row.self_ms:>12.2f} {share:>7.1f}%"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'wall clock':<14s} {wall_us / 1000.0:>{len(header) - 15}.2f} ms"
+        f"  (self-time coverage: "
+        f"{100.0 * total_self / wall_us if wall_us else 0.0:.1f}%)"
+    )
+    return "\n".join(lines)
+
+
+def phase_totals(events: List[Dict[str, Any]]) -> Dict[str, float]:
+    """Per-phase self time in seconds (machine-readable report form)."""
+    return {row.phase: row.self_us / 1e6 for row in hotspots(events)}
+
+
+__all__: Sequence[str] = ("PhaseRow", "hotspots", "format_report", "phase_totals")

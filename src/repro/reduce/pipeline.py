@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Type, Union
 
 from repro.aiger.aig import AIG
 from repro.core.result import Certificate, CheckOutcome, CounterexampleTrace
+from repro.obs.tracer import get_tracer
 from repro.reduce.base import PassResult, ReductionError, ReductionInfo, ReductionPass
 from repro.reduce.coi import ConeOfInfluencePass
 from repro.reduce.latchmerge import EquivalentLatchPass
@@ -157,8 +158,22 @@ class ReductionPipeline:
         results: List[PassResult] = []
         current = aig
         current_property = property_index
+        tracer = get_tracer()
         for reduction_pass in self.passes:
-            result = reduction_pass.run(current, current_property)
+            if tracer.enabled:
+                with tracer.span(
+                    "reduce." + reduction_pass.name,
+                    cat="reduce",
+                    latches=current.num_latches,
+                    ands=current.num_ands,
+                ) as span:
+                    result = reduction_pass.run(current, current_property)
+                    span.add(
+                        latches_after=result.aig.num_latches,
+                        ands_after=result.aig.num_ands,
+                    )
+            else:
+                result = reduction_pass.run(current, current_property)
             results.append(result)
             current = result.aig
             current_property = result.property_index

@@ -46,6 +46,7 @@ from heapq import heapify, heappop, heappush
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.logic.cube import Cube
+from repro.obs.tracer import get_tracer
 from repro.sat.exceptions import ResourceBudgetExceeded, SolverError
 from repro.sat.luby import luby
 from repro.sat.solver import SolverStats
@@ -470,6 +471,29 @@ class ArenaSolver:
         conflict_budget: Optional[int] = None,
     ) -> Optional[bool]:
         """Like :meth:`solve`, but returns None when the budget is exhausted."""
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._solve_limited(assumptions, conflict_budget)
+        with tracer.span(
+            "sat.solve", cat="sat", backend="arena", assumptions=len(assumptions)
+        ) as span:
+            conflicts_before = self.stats.conflicts
+            propagations_before = self.stats.propagations
+            result = self._solve_limited(assumptions, conflict_budget)
+            span.add(
+                result={True: "sat", False: "unsat"}.get(result, "budget"),
+                conflicts=self.stats.conflicts - conflicts_before,
+                propagations=self.stats.propagations - propagations_before,
+            )
+        tracer.sample("sat.conflicts", self.stats.conflicts, cat="sat")
+        tracer.sample("sat.propagations", self.stats.propagations, cat="sat")
+        return result
+
+    def _solve_limited(
+        self,
+        assumptions: Sequence[int],
+        conflict_budget: Optional[int],
+    ) -> Optional[bool]:
         self.stats.solve_calls += 1
         self._model = None
         self._conflict_core = None
@@ -635,7 +659,18 @@ class ArenaSolver:
             return
         if self._dead_words < 2048 or self._dead_words * 2 < len(self._pool):
             return
-        self._compact()
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "sat.compact",
+                cat="sat",
+                backend="arena",
+                pool_words=len(self._pool),
+                dead_words=self._dead_words,
+            ):
+                self._compact()
+        else:
+            self._compact()
 
     def _compact(self) -> None:
         """Rewrite the pool without dead clauses, remapping every ref.
@@ -1077,6 +1112,16 @@ class ArenaSolver:
 
     def _reduce_db(self) -> None:
         """Remove roughly half of the least active, non-locked learnt clauses."""
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "sat.reduce_db", cat="sat", backend="arena", learnts=len(self._learnts)
+            ):
+                self._reduce_db_inner()
+        else:
+            self._reduce_db_inner()
+
+    def _reduce_db_inner(self) -> None:
         pool = self._pool
         cla_act = self._cla_act
         reason = self._reason
@@ -1138,6 +1183,15 @@ class ArenaSolver:
 
             if local_conflicts >= conflict_limit:
                 self.stats.restarts += 1
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.instant(
+                        "sat.restart",
+                        cat="sat",
+                        backend="arena",
+                        restarts=self.stats.restarts,
+                        conflicts=self.stats.conflicts,
+                    )
                 self._cancel_until(0)
                 return None
 

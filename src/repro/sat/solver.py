@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.logic.cube import Cube
+from repro.obs.tracer import get_tracer
 from repro.sat.clause import SolverClause
 from repro.sat.exceptions import ResourceBudgetExceeded, SolverError
 from repro.sat.heap import VarOrderHeap
@@ -474,6 +475,29 @@ class Solver:
         conflict_budget: Optional[int] = None,
     ) -> Optional[bool]:
         """Like :meth:`solve`, but returns None when the budget is exhausted."""
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._solve_limited(assumptions, conflict_budget)
+        with tracer.span(
+            "sat.solve", cat="sat", backend="default", assumptions=len(assumptions)
+        ) as span:
+            conflicts_before = self.stats.conflicts
+            propagations_before = self.stats.propagations
+            result = self._solve_limited(assumptions, conflict_budget)
+            span.add(
+                result={True: "sat", False: "unsat"}.get(result, "budget"),
+                conflicts=self.stats.conflicts - conflicts_before,
+                propagations=self.stats.propagations - propagations_before,
+            )
+        tracer.sample("sat.conflicts", self.stats.conflicts, cat="sat")
+        tracer.sample("sat.propagations", self.stats.propagations, cat="sat")
+        return result
+
+    def _solve_limited(
+        self,
+        assumptions: Sequence[int],
+        conflict_budget: Optional[int],
+    ) -> Optional[bool]:
         self.stats.solve_calls += 1
         self._model = None
         self._conflict_core = None
@@ -875,6 +899,16 @@ class Solver:
 
     def _reduce_db(self) -> None:
         """Remove roughly half of the least active, non-locked learnt clauses."""
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "sat.reduce_db", cat="sat", backend="default", learnts=len(self._learnts)
+            ):
+                self._reduce_db_inner()
+        else:
+            self._reduce_db_inner()
+
+    def _reduce_db_inner(self) -> None:
         self._learnts.sort(key=lambda c: (len(c.lits) <= 2, c.activity))
         keep: List[SolverClause] = []
         limit = len(self._learnts) // 2
@@ -921,6 +955,15 @@ class Solver:
 
             if local_conflicts >= conflict_limit:
                 self.stats.restarts += 1
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.instant(
+                        "sat.restart",
+                        cat="sat",
+                        backend="default",
+                        restarts=self.stats.restarts,
+                        conflicts=self.stats.conflicts,
+                    )
                 self._cancel_until(0)
                 return None
 

@@ -34,7 +34,10 @@ class Metrics:
     def __init__(self):
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {name: 0 for name in COUNTERS}
-        self._started = time.time()
+        # Monotonic for the uptime arithmetic (immune to wall-clock
+        # steps); the wall timestamp is kept for display only.
+        self._started_monotonic = time.monotonic()
+        self._started_wall = time.time()
 
     def incr(self, name: str, amount: int = 1) -> None:
         with self._lock:
@@ -50,5 +53,6 @@ class Metrics:
         """All counters plus process uptime, JSON-serializable."""
         with self._lock:
             data: Dict[str, object] = dict(self._counters)
-        data["uptime_seconds"] = round(time.time() - self._started, 3)
+        data["uptime_seconds"] = round(time.monotonic() - self._started_monotonic, 3)
+        data["started_at"] = round(self._started_wall, 3)
         return data

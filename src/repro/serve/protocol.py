@@ -15,7 +15,7 @@ pool and the clients:
   compatible*: it has the same ``result``/``runtime``/``frames``/
   ``engine``/``winner``/``stats``/``reduction``/``properties``/
   ``transformation``/``error`` fields as one ``results`` row of a
-  ``repro-check/manifest/v6`` document, plus the serialized witness;
+  ``repro-check/manifest/v7`` document, plus the serialized witness;
 * :func:`parse_job_body` — decodes a ``POST /jobs`` body, which is
   either a raw AIGER document (``aag``/``aig`` magic) or a JSON object
   ``{"model": "<aag text>", "engine": ..., ...}``.
@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import time
 import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
@@ -294,10 +293,17 @@ def job_summary(
     submitted_at: float,
     started_at: Optional[float],
     finished_at: Optional[float],
+    waited: float,
     result: Optional[Dict[str, Any]],
     options: JobOptions,
 ) -> Dict[str, Any]:
-    """The ``GET /jobs/{id}`` response body."""
+    """The ``GET /jobs/{id}`` response body.
+
+    The ``*_at`` fields are wall-clock timestamps for display; ``waited``
+    (queue latency) is computed by the caller from monotonic clocks so a
+    wall-clock step (NTP, DST) can never produce a negative or inflated
+    latency.
+    """
     return {
         "id": job_id,
         "status": status,
@@ -307,9 +313,7 @@ def job_summary(
         "submitted_at": round(submitted_at, 6),
         "started_at": round(started_at, 6) if started_at is not None else None,
         "finished_at": round(finished_at, 6) if finished_at is not None else None,
-        "waited": (
-            round((started_at if started_at is not None else time.time()) - submitted_at, 6)
-        ),
+        "waited": round(max(0.0, waited), 6),
         "options": options.as_dict(),
         "result": result,
     }

@@ -11,6 +11,8 @@ Endpoints:
   with a ``Retry-After`` header;
 * ``GET /jobs/{id}`` — poll one job (``queued``/``running``/``done``/
   ``failed`` plus the result record once finished);
+* ``GET /jobs/{id}/trace`` — the job's recorded Chrome trace document
+  (404 unless the service was started with a ``trace_dir``);
 * ``GET /jobs`` — id/status summaries of tracked jobs;
 * ``GET /health`` — liveness + pool/queue occupancy;
 * ``GET /metrics`` — the counters of :mod:`repro.serve.metrics` plus
@@ -144,6 +146,15 @@ class JobServer:
             if status in (200, 202):
                 extra["Location"] = f"/jobs/{payload['id']}"
             return status, extra, payload
+        if path.startswith("/jobs/") and path.endswith("/trace") and method == "GET":
+            job_id = path[len("/jobs/"):-len("/trace")]
+            loop = asyncio.get_running_loop()
+            document = await loop.run_in_executor(
+                None, lambda: self.service.job_trace(job_id)
+            )
+            if document is None:
+                return 404, {}, {"error": "no trace for this job (tracing off or not recorded)"}
+            return 200, {}, document
         if path.startswith("/jobs/") and method == "GET":
             job = self.service.get_job(path[len("/jobs/"):])
             if job is None:
@@ -169,7 +180,10 @@ def run_server(
     async def _main() -> None:
         await server.start()
         print(f"repro-serve listening on {server.address}")
-        print("endpoints: POST /jobs, GET /jobs/{id}, GET /health, GET /metrics")
+        print(
+            "endpoints: POST /jobs, GET /jobs/{id}, GET /jobs/{id}/trace, "
+            "GET /health, GET /metrics"
+        )
         try:
             await server.serve_forever()
         except asyncio.CancelledError:  # pragma: no cover - shutdown path

@@ -55,18 +55,28 @@ from repro.serve.workers import WarmWorkerPool
 
 @dataclass
 class Job:
-    """Parent-side lifecycle record of one submission."""
+    """Parent-side lifecycle record of one submission.
+
+    Wall-clock ``*_at`` timestamps are for display; every duration (the
+    ``waited`` queue latency) is computed from the parallel ``*_mono``
+    monotonic stamps so a wall-clock step mid-job cannot skew it.
+    """
 
     spec: JobSpec
     status: str = QUEUED
     cache_hit: bool = False
     submitted_at: float = field(default_factory=time.time)
+    submitted_mono: float = field(default_factory=time.monotonic)
     started_at: Optional[float] = None
+    started_mono: Optional[float] = None
     finished_at: Optional[float] = None
     result: Optional[Dict[str, Any]] = None
     done_event: threading.Event = field(default_factory=threading.Event)
 
     def summary(self) -> Dict[str, Any]:
+        waited_until = (
+            self.started_mono if self.started_mono is not None else time.monotonic()
+        )
         return job_summary(
             self.spec.job_id,
             self.status,
@@ -76,6 +86,7 @@ class Job:
             submitted_at=self.submitted_at,
             started_at=self.started_at,
             finished_at=self.finished_at,
+            waited=waited_until - self.submitted_mono,
             result=self.result,
             options=self.spec.options,
         )
@@ -97,9 +108,11 @@ class VerificationService:
         tenant_burst: float = 20.0,
         max_jobs_kept: int = 1024,
         grace: Optional[float] = None,
+        trace_dir: Optional[str] = None,
     ):
         self.default_timeout = default_timeout
         self.max_timeout = max_timeout
+        self.trace_dir = trace_dir
         self.metrics = Metrics()
         self.cache = ResultCache(max_entries=cache_size)
         self.budgets = TenantBudgets(rate=tenant_rate, burst=tenant_burst)
@@ -112,6 +125,7 @@ class VerificationService:
             grace=grace,
             metrics=self.metrics,
             on_start=self._on_start,
+            trace_dir=trace_dir,
         )
         self.max_jobs_kept = max_jobs_kept
         self._jobs: "Dict[str, Job]" = {}
@@ -217,6 +231,7 @@ class VerificationService:
             self.metrics.incr("cache_hits")
             job = Job(spec=spec, status=DONE, cache_hit=True, result=cached)
             job.started_at = job.finished_at = job.submitted_at
+            job.started_mono = job.submitted_mono
             job.done_event.set()
             self._remember(job)
             return 200, job.summary()
@@ -266,6 +281,33 @@ class VerificationService:
             job = self._jobs.get(job_id)
             return job.summary() if job is not None else None
 
+    def job_trace(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The recorded trace of one job as a Chrome trace document.
+
+        Returns None when tracing is off, the job is unknown, or no
+        events were recorded yet.  A job whose worker was SIGKILLed
+        still answers here — from the incrementally flushed sink, or
+        failing that the last flight-recorder snapshot.
+        """
+        if not self.trace_dir:
+            return None
+        with self._lock:
+            if job_id not in self._jobs:
+                return None
+        import os
+
+        from repro.obs.export import read_jsonl_events, to_chrome_document
+
+        path = os.path.join(self.trace_dir, f"{job_id}.jsonl")
+        if not os.path.exists(path):
+            path = os.path.join(self.trace_dir, f"flight-{job_id}.jsonl")
+        if not os.path.exists(path):
+            return None
+        events = read_jsonl_events(path)
+        if not events:
+            return None
+        return to_chrome_document(events)
+
     def list_jobs(self) -> List[Dict[str, Any]]:
         with self._lock:
             return [
@@ -294,6 +336,7 @@ class VerificationService:
             if job is not None:
                 job.status = RUNNING
                 job.started_at = time.time()
+                job.started_mono = time.monotonic()
 
     def _on_result(self, job_id: str, record: Dict[str, Any], kind: str) -> None:
         if kind == "timeout":
@@ -321,6 +364,7 @@ class VerificationService:
             job.finished_at = time.time()
             if job.started_at is None:
                 job.started_at = job.finished_at
+                job.started_mono = time.monotonic()
             spec = job.spec
         if status == DONE:
             self.metrics.incr("jobs_completed")

@@ -37,6 +37,7 @@ import time
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.harness.pool import _kill_hard, default_grace
+from repro.obs.tracer import FLIGHT_PREFIX, JsonlSink, Tracer, install, uninstall
 from repro.serve.jobqueue import JobQueue
 from repro.serve.metrics import Metrics
 from repro.serve.protocol import JobOptions, error_record, outcome_to_record
@@ -149,7 +150,36 @@ def _execute_job(payload: Dict[str, Any], warm: Dict[Any, Any]) -> Dict[str, Any
     return record
 
 
-def _worker_main(conn) -> None:
+def _traced_execute(job_id: str, payload: Dict[str, Any], warm, trace_dir: str):
+    """Run one job under a per-job tracer writing ``<trace_dir>/<job_id>.jsonl``.
+
+    The sink flushes incrementally and a flight ring snapshots the tail,
+    so ``GET /jobs/{id}/trace`` has something to serve even when the
+    dispatcher SIGKILLs this worker mid-job.
+    """
+    tracer = None
+    try:
+        os.makedirs(trace_dir, exist_ok=True)
+        tracer = install(
+            Tracer(
+                sink=JsonlSink(os.path.join(trace_dir, f"{job_id}.jsonl")),
+                ring_capacity=512,
+                flight_path=os.path.join(trace_dir, f"{FLIGHT_PREFIX}{job_id}.jsonl"),
+            )
+        )
+    except OSError:  # pragma: no cover - unwritable trace dir
+        return _execute_job(payload, warm)
+    try:
+        with tracer.span(
+            "serve.job", cat="serve", job=job_id, engine=payload["options"].engine
+        ):
+            return _execute_job(payload, warm)
+    finally:
+        uninstall()
+        tracer.close()
+
+
+def _worker_main(conn, trace_dir: Optional[str] = None) -> None:
     """Worker-process body: isolate a process group, then serve jobs."""
     try:
         os.setpgid(0, 0)
@@ -164,7 +194,10 @@ def _worker_main(conn) -> None:
         if message is None:
             break
         job_id, payload = message
-        record = _execute_job(payload, warm)
+        if trace_dir:
+            record = _traced_execute(job_id, payload, warm, trace_dir)
+        else:
+            record = _execute_job(payload, warm)
         try:
             conn.send((job_id, record))
         except (BrokenPipeError, OSError):
@@ -178,11 +211,13 @@ def _worker_main(conn) -> None:
 class _WorkerHandle:
     """Parent-side state of one warm worker process."""
 
-    def __init__(self, ctx, index: int):
+    def __init__(self, ctx, index: int, trace_dir: Optional[str] = None):
         self.index = index
         self.conn, child_conn = ctx.Pipe(duplex=True)
         self.proc = ctx.Process(
-            target=_worker_main, args=(child_conn,), name=f"serve-worker-{index}"
+            target=_worker_main,
+            args=(child_conn, trace_dir),
+            name=f"serve-worker-{index}",
         )
         self.proc.start()
         child_conn.close()
@@ -247,6 +282,7 @@ class WarmWorkerPool:
         grace: Optional[float] = None,
         metrics: Optional[Metrics] = None,
         on_start: Optional[Callable[[str], None]] = None,
+        trace_dir: Optional[str] = None,
     ):
         if size <= 0:
             raise ValueError("pool size must be positive")
@@ -258,6 +294,7 @@ class WarmWorkerPool:
         self.size = size
         self.max_jobs_per_worker = max_jobs_per_worker
         self.grace = grace
+        self.trace_dir = trace_dir
         self.metrics = metrics or Metrics()
         self._ctx = multiprocessing.get_context()
         self._workers: List[_WorkerHandle] = []
@@ -320,7 +357,7 @@ class WarmWorkerPool:
 
     # -- internals ------------------------------------------------------
     def _spawn(self) -> _WorkerHandle:
-        handle = _WorkerHandle(self._ctx, self._next_index)
+        handle = _WorkerHandle(self._ctx, self._next_index, self.trace_dir)
         self._next_index += 1
         return handle
 

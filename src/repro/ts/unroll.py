@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 
 from repro.aiger.aig import AIG, FALSE_LIT, TRUE_LIT
 from repro.logic.cube import Cube
+from repro.obs.tracer import get_tracer
 from repro.sat.context import sat_backend
 from repro.sat.solver import Solver
 
@@ -114,6 +115,16 @@ class Unroller:
     # Frame construction
     # ------------------------------------------------------------------
     def _add_frame(self) -> None:
+        tracer = get_tracer()
+        if not tracer.enabled:
+            self._add_frame_inner()
+            return
+        with tracer.span(
+            "unroll.frame", cat="unroll", frame=len(self._frames)
+        ):
+            self._add_frame_inner()
+
+    def _add_frame_inner(self) -> None:
         frame_index = len(self._frames)
         var_map: Dict[int, int] = {}
         for aig_lit in self.aig.inputs:

@@ -36,6 +36,7 @@ TIMING_FIELDS = {
     "time_prediction",
     "time_propagation",
     "par1_time",
+    "phase_times",
     "wall_clock",
     "created_at",
 }
@@ -74,7 +75,7 @@ class TestManifestDeterminism:
 
     def test_substrate_stats_present_and_deterministic(self):
         manifest = _manifest(jobs=4)
-        assert manifest["schema"] == MANIFEST_SCHEMA == "repro-check/manifest/v6"
+        assert manifest["schema"] == MANIFEST_SCHEMA == "repro-check/manifest/v7"
         for result in manifest["results"]:
             stats = result["stats"]
             for field in (
@@ -100,3 +101,16 @@ class TestManifestDeterminism:
         for meta in manifest["configs"].values():
             assert meta["frame_backend"] == "monolithic"
             assert meta["sat_backend"] == "default"
+        # v7: every configuration total carries the phase-time breakdown.
+        for totals in manifest["totals"].values():
+            phase_times = totals["phase_times"]
+            assert set(phase_times) == {
+                "sat",
+                "generalization",
+                "prediction",
+                "propagation",
+                "reduction",
+                "other",
+            }
+            for value in phase_times.values():
+                assert isinstance(value, float) and value >= 0.0

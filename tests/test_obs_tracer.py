@@ -1,0 +1,242 @@
+"""Unit tests of the tracing core (``repro.obs.tracer``)."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    TRACE_DIR_ENV,
+    JsonlSink,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    install,
+    maybe_install_worker_tracer,
+    shutdown_worker_tracer,
+    trace_session,
+    uninstall,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer_state(monkeypatch):
+    """Every test starts and ends with tracing disabled."""
+    monkeypatch.delenv(TRACE_DIR_ENV, raising=False)
+    uninstall()
+    yield
+    uninstall()
+
+
+class TestDisabledTracer:
+    def test_default_is_null_tracer(self):
+        assert get_tracer() is NULL_TRACER
+        assert get_tracer().enabled is False
+
+    def test_disabled_span_is_one_shared_object(self):
+        """The overhead guard: a disabled span allocates nothing."""
+        tracer = get_tracer()
+        spans = {id(tracer.span(f"s{i}", cat="x", arg=i)) for i in range(100)}
+        assert len(spans) == 1  # one preallocated null span, reused
+
+    def test_disabled_operations_record_nothing(self):
+        tracer = get_tracer()
+        with tracer.span("a"):
+            tracer.instant("b")
+            tracer.sample("c", 10_000_000)
+        assert tracer.events() == []
+
+    def test_null_tracer_has_no_instance_dict(self):
+        """__slots__ keeps the null object allocation-free per call."""
+        assert not hasattr(NullTracer(), "__dict__")
+
+    def test_install_uninstall_round_trip(self):
+        tracer = Tracer()
+        install(tracer)
+        assert get_tracer() is tracer
+        assert uninstall() is tracer
+        assert get_tracer() is NULL_TRACER
+
+
+class TestSpans:
+    def test_span_records_complete_event(self):
+        tracer = install(Tracer())
+        with tracer.span("work", cat="test", size=3) as span:
+            span.add(result="ok")
+        (event,) = tracer.events()
+        assert event["name"] == "work"
+        assert event["ph"] == "X"
+        assert event["cat"] == "test"
+        assert event["dur"] >= 0
+        assert event["pid"] == os.getpid()
+        assert event["tid"] == threading.get_native_id()
+        assert event["args"] == {"size": 3, "result": "ok"}
+
+    def test_span_marks_aborted_on_exception(self):
+        tracer = install(Tracer())
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        (event,) = tracer.events()
+        assert event["args"]["aborted"] is True
+
+    def test_nesting_preserves_start_order_per_thread(self):
+        tracer = install(Tracer())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.events()  # inner closes (and records) first
+        assert inner["name"] == "inner"
+        assert outer["name"] == "outer"
+        assert outer["ts"] <= inner["ts"]
+        assert outer["ts"] + outer["dur"] >= inner["ts"] + inner["dur"]
+
+    def test_thread_safety_under_concurrent_spans(self):
+        tracer = install(Tracer())
+        errors = []
+
+        def worker(tag):
+            try:
+                for i in range(200):
+                    with tracer.span(f"{tag}-{i}", cat="thread"):
+                        tracer.instant(f"{tag}-i{i}")
+            except Exception as exc:  # noqa: BLE001 - collected for the assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{n}",)) for n in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        events = tracer.events()
+        assert len(events) == 4 * 200 * 2
+        # Each event is tagged with the thread that recorded it, and
+        # every one of the 4 threads shows up.
+        assert len({e["tid"] for e in events}) == 4
+
+    def test_instant_event_shape(self):
+        tracer = install(Tracer())
+        tracer.instant("tick", cat="test", k=2)
+        (event,) = tracer.events()
+        assert event["ph"] == "i"
+        assert event["s"] == "t"
+        assert event["args"] == {"k": 2}
+
+
+class TestSampling:
+    def test_sample_emits_once_per_bucket(self):
+        tracer = install(Tracer(sample_every=100))
+        for count in range(0, 1000, 10):
+            tracer.sample("conflicts", count)
+        events = tracer.events()
+        # Buckets 0..9 -> exactly 10 instants out of 100 calls.
+        assert len(events) == 10
+        assert [e["args"]["count"] // 100 for e in events] == list(range(10))
+
+    def test_sample_buckets_are_per_name(self):
+        tracer = install(Tracer(sample_every=100))
+        tracer.sample("a", 5)
+        tracer.sample("b", 7)
+        assert len(tracer.events()) == 2
+
+
+class TestRingBuffer:
+    def test_eviction_drops_oldest_first(self):
+        tracer = Tracer(ring_capacity=5)
+        for i in range(12):
+            tracer.instant(f"e{i}")
+        names = [event["name"] for event in tracer.events()]
+        assert names == ["e7", "e8", "e9", "e10", "e11"]
+
+    def test_unbounded_without_capacity(self):
+        tracer = Tracer()
+        for i in range(100):
+            tracer.instant(f"e{i}")
+        assert len(tracer.events()) == 100
+
+
+class TestSinkAndFlight:
+    def test_jsonl_sink_appends_events(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        tracer = Tracer(sink=JsonlSink(path, flush_every=1))
+        tracer.instant("one")
+        tracer.instant("two")
+        tracer.close()
+        lines = [json.loads(line) for line in open(path)]
+        assert [line["name"] for line in lines] == ["one", "two"]
+
+    def test_flight_snapshot_written_periodically(self, tmp_path):
+        path = str(tmp_path / "flight.jsonl")
+        tracer = Tracer(ring_capacity=4, flight_path=path, flight_every=3)
+        for i in range(7):
+            tracer.instant(f"e{i}")
+        # Two snapshots happened (after 3 and 6 events); the file holds
+        # the ring contents of the most recent one.
+        names = [json.loads(line)["name"] for line in open(path)]
+        assert names == ["e2", "e3", "e4", "e5"]
+        tracer.close()  # final dump has the full tail
+        names = [json.loads(line)["name"] for line in open(path)]
+        assert names == ["e3", "e4", "e5", "e6"]
+
+    def test_no_partial_flight_files_left(self, tmp_path):
+        tracer = Tracer(
+            ring_capacity=4, flight_path=str(tmp_path / "f.jsonl"), flight_every=1
+        )
+        for i in range(5):
+            tracer.instant(f"e{i}")
+        tracer.close()
+        leftovers = [p for p in os.listdir(tmp_path) if p.startswith(".flight-")]
+        assert leftovers == []
+
+
+class TestWorkerActivation:
+    def test_noop_without_environment(self):
+        assert maybe_install_worker_tracer("test") is None
+        assert get_tracer() is NULL_TRACER
+
+    def test_installs_and_writes_role_pid_files(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
+        tracer = maybe_install_worker_tracer("role", flush_every=1)
+        assert tracer is not None and get_tracer() is tracer
+        tracer.instant("hello")
+        shutdown_worker_tracer()
+        assert get_tracer() is NULL_TRACER
+        pid = os.getpid()
+        sink = tmp_path / f"role-{pid}.jsonl"
+        flight = tmp_path / f"flight-role-{pid}.jsonl"
+        assert sink.exists() and flight.exists()
+        assert json.loads(sink.read_text().splitlines()[0])["name"] == "hello"
+
+
+class TestTraceSession:
+    def test_writes_chrome_trace_and_restores_state(self, tmp_path):
+        out = str(tmp_path / "trace.json")
+        with trace_session(out, label="unit") as tracer:
+            workers_dir = os.environ[TRACE_DIR_ENV]
+            with tracer.span("inner", cat="test"):
+                pass
+        assert TRACE_DIR_ENV not in os.environ
+        assert get_tracer() is NULL_TRACER
+        assert not os.path.exists(workers_dir)  # tmp dir cleaned up
+        document = json.load(open(out))
+        names = {event["name"] for event in document["traceEvents"]}
+        assert {"unit", "inner"} <= names
+
+    def test_collects_worker_files(self, tmp_path):
+        out = str(tmp_path / "trace.json")
+        with trace_session(out):
+            workers_dir = os.environ[TRACE_DIR_ENV]
+            # Simulate a worker process writing its own sink.
+            sink = JsonlSink(os.path.join(workers_dir, "fake-12345.jsonl"))
+            sink.write(
+                {"name": "w", "cat": "x", "ph": "i", "ts": 1, "s": "t",
+                 "pid": 12345, "tid": 1, "args": {}}
+            )
+            sink.close()
+        document = json.load(open(out))
+        assert any(e["name"] == "w" for e in document["traceEvents"])

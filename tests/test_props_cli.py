@@ -138,7 +138,9 @@ class TestLivenessEvaluate:
         out = capsys.readouterr().out
         assert "j0" in out and "b1" in out
         manifest = json.loads(output.read_text())
-        assert manifest["schema"] == "repro-check/manifest/v6"
+        from repro.harness.manifest import MANIFEST_SCHEMA
+
+        assert manifest["schema"] == MANIFEST_SCHEMA
         mixed = [r for r in manifest["results"] if r["case"] == "livemix_n3"][0]
         assert [p["result"] for p in mixed["properties"]] == [
             "safe",
