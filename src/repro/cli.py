@@ -53,6 +53,7 @@ from repro.engines import available_engines, create_engine
 from repro.harness.configs import (
     apply_frame_backend,
     apply_sat_backend,
+    apply_seed,
     paper_configurations,
 )
 from repro.harness.manifest import build_manifest, write_manifest
@@ -142,6 +143,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="portfolio worker processes (default: one per member engine)",
     )
+    check.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="RNG seed for the SAT kernels' randomized branching "
+        "(0 = deterministic unseeded order; the portfolio derives "
+        "distinct per-member seeds from it)",
+    )
+    check.add_argument(
+        "--portfolio-share",
+        dest="portfolio_share",
+        action="store_true",
+        default=True,
+        help="portfolio only: exchange proven lemmas between members "
+        "over a shared-memory bus (default: on)",
+    )
+    check.add_argument(
+        "--no-portfolio-share",
+        dest="portfolio_share",
+        action="store_false",
+        help="portfolio only: run members fully independently",
+    )
     _add_reduction_arguments(check)
     check.add_argument("--verbose", action="store_true", help="per-frame progress")
     check.add_argument(
@@ -215,6 +239,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_sat_backends(),
         default=None,
         help="SAT kernel for every configuration (default: default)",
+    )
+    evaluate.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="RNG seed for the SAT kernels of every configuration "
+        "(default: deterministic unseeded order)",
     )
     evaluate.add_argument("--verbose", action="store_true", help="per-case progress")
     evaluate.add_argument(
@@ -460,11 +492,17 @@ def _engine_kwargs(args: argparse.Namespace) -> dict:
     elif args.engine in ("l2s", "liveness-to-safety"):
         kwargs["max_depth"] = args.max_depth
     elif args.engine == "portfolio":
+        from repro.engines.portfolio import PortfolioOptions
+
         kwargs["jobs"] = args.jobs
         kwargs["member_kwargs"] = {
             "bmc": {"max_depth": args.max_depth},
             "kind": {"max_k": args.max_k},
         }
+        kwargs["portfolio_options"] = PortfolioOptions(
+            share=args.portfolio_share,
+            base_seed=args.seed if args.seed else 1,
+        )
     return kwargs
 
 
@@ -479,7 +517,7 @@ def _command_check(args: argparse.Namespace) -> int:
 
 def _check_body(args: argparse.Namespace) -> int:
     aig = read_aiger(args.model)
-    options = IC3Options(verbose=1 if args.verbose else 0)
+    options = IC3Options(verbose=1 if args.verbose else 0, seed=args.seed)
     if args.all_properties or args.property is not None:
         return _check_scheduled(args, aig, options)
     engine = create_engine(args.engine, aig, options=options, **_engine_kwargs(args))
@@ -594,13 +632,17 @@ def _evaluate_body(args: argparse.Namespace) -> int:
         reduce=not args.no_reduce,
         frame_backend=args.frame_backend,
         sat_backend=args.sat_backend,
+        seed=args.seed,
     )
     wall_clock = time.perf_counter() - start
     print(report.to_text())
     if args.output:
-        configs = apply_sat_backend(
-            apply_frame_backend(paper_configurations(), args.frame_backend),
-            args.sat_backend,
+        configs = apply_seed(
+            apply_sat_backend(
+                apply_frame_backend(paper_configurations(), args.frame_backend),
+                args.sat_backend,
+            ),
+            args.seed,
         )
         manifest = build_manifest(
             report.suite_result,

@@ -19,6 +19,7 @@ from repro.core.result import (
     CounterexampleTrace,
     TraceStep,
 )
+from repro.core.share import UnrollingInvariantImporter
 from repro.core.stats import IC3Stats
 from repro.obs.tracer import get_tracer
 from repro.ts.unroll import Unroller
@@ -27,14 +28,30 @@ from repro.ts.unroll import Unroller
 class BMC:
     """Bounded model checker over an AIG."""
 
-    def __init__(self, aig: AIG, property_index: int = 0, sat_backend: str = "default"):
+    def __init__(
+        self,
+        aig: AIG,
+        property_index: int = 0,
+        sat_backend: str = "default",
+        seed: int = 0,
+        lemma_port=None,
+        lemma_map=None,
+    ):
         self.aig = aig
         self.property_index = property_index
         # One persistent unrolling for the whole run: deeper bounds only
         # append frames, and the initial-state constraint rides along as
         # an assumption so the encoding itself stays reusable.
-        self.unroller = Unroller(aig, init_as_assumption=True, backend=sat_backend)
+        self.unroller = Unroller(
+            aig, init_as_assumption=True, backend=sat_backend, seed=seed
+        )
         self.stats = IC3Stats()
+        self.importer = None
+        if lemma_port is not None:
+            self.importer = UnrollingInvariantImporter(
+                lemma_port, aig, self.unroller, self.stats,
+                map_in=lemma_map, sat_backend=sat_backend,
+            )
 
     def check(
         self,
@@ -52,6 +69,9 @@ class BMC:
         for depth in range(max_depth + 1):
             if deadline is not None and time.perf_counter() > deadline:
                 return self._outcome(CheckResult.UNKNOWN, start, reason="time limit reached")
+            if self.importer is not None:
+                self.importer.drain()
+                self.importer.flush()
             bad_lit = self.unroller.bad_lit_at(depth, self.property_index)
             self.stats.sat_calls += 1
             sat_start = time.perf_counter()
@@ -98,6 +118,10 @@ class BMC:
         return CounterexampleTrace(steps=steps)
 
     def _outcome(self, result: CheckResult, start: float, reason: str = "") -> CheckOutcome:
+        solver_stats = self.unroller.solver.stats
+        self.stats.solver_conflicts = solver_stats.conflicts
+        self.stats.solver_decisions = solver_stats.decisions
+        self.stats.solver_propagations = solver_stats.propagations
         return CheckOutcome(
             result=result,
             runtime=time.perf_counter() - start,

@@ -37,7 +37,7 @@ from typing import Dict, List, Optional
 from repro.core.options import IC3Options
 from repro.core.stats import IC3Stats
 from repro.logic.cube import Clause, Cube
-from repro.sat.context import SatContext, sat_backend
+from repro.sat.context import SatContext, apply_solver_seed, sat_backend
 from repro.sat.solver import Solver
 from repro.ts.system import TransitionSystem
 
@@ -85,6 +85,10 @@ class FrameManagerBase:
         self.options = options
         self.stats = stats
         self.frames: List[List[Cube]] = []
+        self.lemma_exporter = None
+        """Optional ``(cube, level)`` callback fired whenever a lemma is
+        newly proven at or promoted to ``level`` — the cooperative
+        portfolio's export hook (see :mod:`repro.core.share`)."""
 
     # ------------------------------------------------------------------
     # Frame construction
@@ -125,6 +129,8 @@ class FrameManagerBase:
         self.frames[level].append(cube)
         self._install_lemma(cube, level)
         self.stats.lemmas_added += 1
+        if self.lemma_exporter is not None:
+            self.lemma_exporter(cube, level)
 
     def promote_cube(self, cube: Cube, from_level: int, to_level: int) -> None:
         """Move a lemma up after a successful propagation push."""
@@ -133,6 +139,8 @@ class FrameManagerBase:
         self.frames[to_level].append(cube)
         self._install_promotion(cube, from_level, to_level)
         self.stats.lemmas_pushed += 1
+        if self.lemma_exporter is not None:
+            self.lemma_exporter(cube, to_level)
 
     def lemmas_exactly_at(self, level: int) -> List[Cube]:
         """Cubes whose lemma lives exactly at ``level`` (F_level \\ F_{level+1})."""
@@ -179,6 +187,9 @@ class FrameManagerBase:
 
     def _absorb_kernel_stats(self, solver_stats) -> None:
         """Fold one solver's memory-system counters (manifest v5) in."""
+        self.stats.solver_conflicts += solver_stats.conflicts
+        self.stats.solver_decisions += solver_stats.decisions
+        self.stats.solver_propagations += solver_stats.propagations
         self.stats.watch_traversals += solver_stats.watch_traversals
         self.stats.blocker_hits += solver_stats.blocker_hits
         self.stats.literal_pool_bytes += solver_stats.literal_pool_bytes
@@ -284,7 +295,7 @@ class MonolithicFrameManager(FrameManagerBase):
 
     def _new_trans_context(self) -> SatContext:
         """A fresh context of the configured backend loaded with T."""
-        ctx = SatContext(backend=self.options.sat_backend)
+        ctx = SatContext(backend=self.options.sat_backend, seed=self.options.seed)
         ctx.solver.ensure_var(self.ts.num_vars)
         ctx.load(clause.literals for clause in self.ts.trans)
         return ctx
@@ -616,6 +627,7 @@ class PerFrameFrameManager(FrameManagerBase):
     # ------------------------------------------------------------------
     def _fresh_trans_solver(self) -> Solver:
         solver = sat_backend(self.options.sat_backend)()
+        apply_solver_seed(solver, self.options.seed)
         solver.ensure_var(self.ts.num_vars)
         for clause in self.ts.trans:
             solver.add_clause(clause.literals)

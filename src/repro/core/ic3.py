@@ -31,6 +31,7 @@ from repro.core.generalize import make_generalizer
 from repro.core.obligations import Obligation, ObligationQueue
 from repro.core.options import IC3Options
 from repro.core.predict import LemmaPredictor
+from repro.core.share import _DRAIN_OBLIGATION_INTERVAL, FrameLemmaExchange
 from repro.core.result import (
     Certificate,
     CheckOutcome,
@@ -60,6 +61,8 @@ class IC3:
         options: Optional[IC3Options] = None,
         property_index: int = 0,
         seed_clauses: Optional[Sequence[Sequence[int]]] = None,
+        lemma_port=None,
+        lemma_maps=None,
     ):
         """``seed_clauses`` are invariant clauses proved for sibling
         properties of the same model, given over *latch indices*: literal
@@ -68,6 +71,15 @@ class IC3:
         certificates validated by :func:`repro.core.invariant.
         check_certificate` satisfy it); clauses are then sound to inject
         into every frame and act as free lemmas.
+
+        ``lemma_port`` is an optional cooperative-portfolio bus port
+        (the ``publish``/``pending``/``drain`` shape of
+        :mod:`repro.engines.lembus`); when given, newly proven frame
+        lemmas are exported and foreign lemmas are imported — after
+        local revalidation — at the engine's check-in points.
+        ``lemma_maps`` is an optional ``(map_in, map_out)`` pair of
+        clause translators between the bus's latch-index space and this
+        engine's (for members that reduced their model further).
         """
         if isinstance(system, TransitionSystem):
             self.ts = system
@@ -79,6 +91,13 @@ class IC3:
 
         self.stats = IC3Stats()
         self.frames = make_frame_manager(self.ts, self.options, self.stats)
+        self.exchange: Optional[FrameLemmaExchange] = None
+        if lemma_port is not None:
+            map_in, map_out = lemma_maps if lemma_maps is not None else (None, None)
+            self.exchange = FrameLemmaExchange(
+                lemma_port, self.ts, self.frames, self.stats,
+                map_in=map_in, map_out=map_out,
+            )
         self._literal_activity: Dict[int, float] = {}
         self.generalizer = make_generalizer(
             self.frames, self.ts, self.options, self.stats, self._literal_activity
@@ -137,6 +156,7 @@ class IC3:
             # Blocking phase: make F_top ⇒ P.
             while True:
                 self._check_limits()
+                self._drain_shared()
                 bad = self.frames.get_bad_state(top)
                 if bad is None:
                     break
@@ -159,6 +179,7 @@ class IC3:
                     self.frames.add_frame()
             else:
                 self.frames.add_frame()
+            self._drain_shared()
             invariant_level = self._propagate()
             if self.options.verbose >= 1:
                 self._log_frame_progress()
@@ -224,6 +245,8 @@ class IC3:
             self.stats.obligations_processed += 1
             if self.stats.obligations_processed > self.options.max_obligations:
                 raise _BudgetSignal("obligation limit reached")
+            if self.stats.obligations_processed % _DRAIN_OBLIGATION_INTERVAL == 0:
+                self._drain_shared()
             get_tracer().sample(
                 "ic3.obligations",
                 self.stats.obligations_processed,
@@ -458,6 +481,11 @@ class IC3:
         return CheckOutcome(
             result=CheckResult.UNKNOWN, reason=reason, engine=self._engine_name()
         )
+
+    def _drain_shared(self) -> None:
+        """Import pending bus lemmas at a safe check-in point."""
+        if self.exchange is not None:
+            self.exchange.drain()
 
     def _check_limits(self) -> None:
         if self._deadline is not None and time.perf_counter() > self._deadline:

@@ -92,7 +92,11 @@ class IC3Options:
     """0 = silent, 1 = per-frame progress, 2 = per-obligation detail."""
 
     seed: int = 0
-    """Reserved for randomized literal orderings (kept for reproducibility)."""
+    """Deterministic RNG seed for the SAT kernels' randomized branching
+    (see :meth:`repro.sat.solver.Solver.set_seed`).  0 disables the
+    randomization entirely; any non-zero seed gives a reproducible but
+    diversified decision order — the portfolio uses distinct seeds per
+    member so cooperative lemma sharing has value."""
 
     # ------------------------------------------------------------------
     # Named profiles used by the evaluation harness
@@ -160,3 +164,5 @@ class IC3Options:
             )
         if not self.sat_backend:
             raise ValueError("sat_backend must be a registered backend name")
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative (0 disables randomization)")

@@ -84,6 +84,8 @@ class IC3Engine:
         frame_backend: Optional[str] = None,
         sat_backend: Optional[str] = None,
         shared_lemmas: Optional[Sequence[Sequence[int]]] = None,
+        seed: Optional[int] = None,
+        lemma_port=None,
         **_ignored,
     ):
         self.options = options if options is not None else IC3Options()
@@ -91,6 +93,8 @@ class IC3Engine:
             self.options = replace(self.options, frame_backend=frame_backend)
         if sat_backend is not None:
             self.options = replace(self.options, sat_backend=sat_backend)
+        if seed is not None:
+            self.options = replace(self.options, seed=seed)
         self.name = name or ("ic3-pl" if self.options.enable_prediction else "ic3")
         model, model_property, self.reduction = prepare_model(
             aig, property_index, reduce, passes
@@ -101,8 +105,19 @@ class IC3Engine:
         seeds = list(shared_lemmas or [])
         if seeds and self.reduction is not None:
             seeds = self.reduction.recon.map_latch_index_clauses(seeds)
+        # Live bus lemmas travel in the latch-index space of the model
+        # this adapter was handed; when it reduced further, imports follow
+        # the pass chain forward and exports lift back through it.
+        lemma_maps = None
+        if lemma_port is not None and self.reduction is not None:
+            recon = self.reduction.recon
+            lemma_maps = (
+                recon.map_latch_index_clauses,
+                recon.lift_latch_index_clauses,
+            )
         self._engine = IC3(
-            model, self.options, property_index=model_property, seed_clauses=seeds
+            model, self.options, property_index=model_property, seed_clauses=seeds,
+            lemma_port=lemma_port, lemma_maps=lemma_maps,
         )
 
     def check(self, time_limit: Optional[float] = None) -> CheckOutcome:
@@ -128,15 +143,26 @@ class BMCEngine:
         reduce: bool = True,
         passes: Optional[Sequence[str]] = None,
         sat_backend: Optional[str] = None,
+        seed: Optional[int] = None,
+        lemma_port=None,
         **_ignored,
     ):
         self.max_depth = max_depth
         model, model_property, self.reduction = prepare_model(
             aig, property_index, reduce, passes
         )
+        base_options = options or IC3Options()
         if sat_backend is None:
-            sat_backend = (options or IC3Options()).sat_backend
-        self._engine = BMC(model, property_index=model_property, sat_backend=sat_backend)
+            sat_backend = base_options.sat_backend
+        if seed is None:
+            seed = base_options.seed
+        lemma_map = None
+        if lemma_port is not None and self.reduction is not None:
+            lemma_map = self.reduction.recon.map_latch_index_clauses
+        self._engine = BMC(
+            model, property_index=model_property, sat_backend=sat_backend,
+            seed=seed, lemma_port=lemma_port, lemma_map=lemma_map,
+        )
 
     def check(self, time_limit: Optional[float] = None) -> CheckOutcome:
         outcome = traced_check(
@@ -161,16 +187,25 @@ class KInductionEngine:
         reduce: bool = True,
         passes: Optional[Sequence[str]] = None,
         sat_backend: Optional[str] = None,
+        seed: Optional[int] = None,
+        lemma_port=None,
         **_ignored,
     ):
         self.max_k = max_k
         model, model_property, self.reduction = prepare_model(
             aig, property_index, reduce, passes
         )
+        base_options = options or IC3Options()
         if sat_backend is None:
-            sat_backend = (options or IC3Options()).sat_backend
+            sat_backend = base_options.sat_backend
+        if seed is None:
+            seed = base_options.seed
+        lemma_map = None
+        if lemma_port is not None and self.reduction is not None:
+            lemma_map = self.reduction.recon.map_latch_index_clauses
         self._engine = KInduction(
-            model, property_index=model_property, sat_backend=sat_backend
+            model, property_index=model_property, sat_backend=sat_backend,
+            seed=seed, lemma_port=lemma_port, lemma_map=lemma_map,
         )
 
     def check(self, time_limit: Optional[float] = None) -> CheckOutcome:

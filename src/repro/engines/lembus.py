@@ -1,0 +1,468 @@
+"""Cross-process lemma bus for the cooperative portfolio.
+
+The bus carries *lemma records* — ``(member, level, clause)`` where the
+clause is over latch-index literals (``±(index + 1)`` refers to latch
+``index`` of the model every member races on) and ``level`` is the IC3
+frame level the exporter proved the lemma at.  Receivers must treat every
+record as **untrusted**: the import paths re-validate each clause with
+their own SAT queries before installing it, so a hostile or buggy member
+can waste a little validation time but can never flip a verdict.
+
+Two transports implement the same port interface:
+
+* :class:`ShmRingBus` (the default) — one ``multiprocessing.
+  shared_memory`` ring buffer shared by all members.  Writers serialize
+  records under a short lock and advance a monotonically increasing
+  *head* byte counter; each reader keeps its own cursor and copies the
+  delta on drain.  A lagging reader whose cursor falls more than the ring
+  capacity behind the head has lost records: its cursor snaps forward to
+  the head and the loss is reported (``bus_overflows``), so a slow member
+  degrades gracefully instead of blocking the writers.
+* :class:`QueueLemmaBus` — a ``multiprocessing.Queue`` per member;
+  ``publish`` fans a record out to every *other* member's queue.  Used
+  where POSIX shared memory is unavailable and as the differential
+  oracle for the ring protocol in tests.
+
+Both are created in the portfolio parent; members receive a picklable
+:class:`PortHandle` and call :func:`open_port` in the child process.
+The handle also carries the export-quality policy (maximum clause size,
+minimum frame level), so the frame managers never need portfolio-level
+configuration.
+
+This module is deliberately free of any :mod:`repro.core` imports: the
+engines inject ports into the core algorithms as duck-typed objects,
+keeping the dependency arrow pointing core <- engines.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - absent only on exotic builds
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover
+    _shm = None
+
+import multiprocessing
+
+_HEADER = struct.Struct("<qqqq")  # magic, capacity, head, records
+_RECORD = struct.Struct("<iiii")  # total_bytes, member, level, nlits
+_LIT = struct.Struct("<i")
+_MAGIC = 0x4C454D42  # "LEMB"
+
+DEFAULT_CAPACITY = 1 << 20
+"""Default ring data size in bytes (~16k ten-literal records)."""
+
+MAX_CLAUSE_LITS = 64
+"""Hard cap on record size; longer clauses are dropped at publish."""
+
+
+class LemmaBusError(Exception):
+    """Raised on malformed bus construction or a corrupted segment."""
+
+
+@dataclass
+class BusRecord:
+    """One lemma on the bus (untrusted until re-validated by the reader)."""
+
+    member: int
+    level: int
+    clause: Tuple[int, ...]
+
+
+@dataclass
+class SharePolicy:
+    """Export-quality heuristic carried to every member with its handle."""
+
+    max_lits: int = 8
+    """Publish only lemmas with at most this many literals (short clauses
+    prune more and cost less to validate)."""
+
+    min_level: int = 2
+    """Publish only lemmas proven at this frame level or higher (level-1
+    lemmas are cheap to rediscover and rarely transfer)."""
+
+
+@dataclass
+class PortHandle:
+    """Picklable description of one member's view of the bus."""
+
+    transport: str
+    member: int
+    policy: SharePolicy = field(default_factory=SharePolicy)
+    # shm transport
+    shm_name: Optional[str] = None
+    capacity: int = DEFAULT_CAPACITY
+    lock: Optional[object] = None
+    # queue transport
+    queues: Optional[Tuple[object, ...]] = None
+
+
+def _encode_record(member: int, level: int, clause: Sequence[int]) -> bytes:
+    body = b"".join(_LIT.pack(lit) for lit in clause)
+    total = _RECORD.size + len(body)
+    return _RECORD.pack(total, member, level, len(clause)) + body
+
+
+def _decode_records(data: bytes) -> List[BusRecord]:
+    """Parse back-to-back records; a truncated tail is dropped silently."""
+    records: List[BusRecord] = []
+    offset = 0
+    end = len(data)
+    while offset + _RECORD.size <= end:
+        total, member, level, nlits = _RECORD.unpack_from(data, offset)
+        if total < _RECORD.size or nlits < 0 or offset + total > end:
+            break  # corrupted or truncated: stop parsing this batch
+        if total != _RECORD.size + nlits * _LIT.size:
+            break
+        lits = struct.unpack_from(f"<{nlits}i", data, offset + _RECORD.size)
+        records.append(BusRecord(member=member, level=level, clause=lits))
+        offset += total
+    return records
+
+
+class ShmRingBus:
+    """Parent-side owner of the shared-memory ring segment."""
+
+    transport = "shm"
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, policy: Optional[SharePolicy] = None):
+        if _shm is None:
+            raise LemmaBusError("multiprocessing.shared_memory is unavailable")
+        if capacity < 4096:
+            raise LemmaBusError(f"ring capacity {capacity} is too small")
+        self.capacity = capacity
+        self.policy = policy or SharePolicy()
+        self._shm = _shm.SharedMemory(create=True, size=_HEADER.size + capacity)
+        self._lock = multiprocessing.get_context().Lock()
+        _HEADER.pack_into(self._shm.buf, 0, _MAGIC, capacity, 0, 0)
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def port_handle(self, member: int) -> PortHandle:
+        """Handle for member ``member``; pass it through ``Process`` args."""
+        return PortHandle(
+            transport="shm",
+            member=member,
+            policy=self.policy,
+            shm_name=self._shm.name,
+            capacity=self.capacity,
+            lock=self._lock,
+        )
+
+    def open_local_port(self, member: int) -> "ShmPort":
+        """A port in *this* process (parent-side draining, tests)."""
+        return ShmPort(self.port_handle(member), shm=self._shm, owned=False)
+
+    def total_published(self) -> int:
+        """Total records ever written (from the ring header)."""
+        _, _, _, records = _HEADER.unpack_from(self._shm.buf, 0)
+        return records
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except (OSError, ValueError):  # pragma: no cover - double close
+            pass
+
+    def unlink(self) -> None:
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+class ShmPort:
+    """One member's read/write view of the shared ring."""
+
+    def __init__(self, handle: PortHandle, shm=None, owned: bool = True):
+        if _shm is None:
+            raise LemmaBusError("multiprocessing.shared_memory is unavailable")
+        self.member = handle.member
+        self.policy = handle.policy
+        self.capacity = handle.capacity
+        self._lock = handle.lock
+        self._owned = owned
+        if shm is None:
+            shm = _attach_shared_memory(handle.shm_name)
+        self._shm = shm
+        magic, capacity, head, _ = _HEADER.unpack_from(self._shm.buf, 0)
+        if magic != _MAGIC or capacity != handle.capacity:
+            raise LemmaBusError("shared ring header mismatch")
+        # Start reading at the current head: records published before this
+        # member attached were meant for the members racing then.
+        self._cursor = head
+        self._closed = False
+        # Local accounting (mirrored into IC3Stats by the exchange layer).
+        self.published = 0
+        self.received = 0
+        self.dropped_oversize = 0
+        self.overflows = 0
+
+    # -- write ----------------------------------------------------------
+    def publish(self, level: int, clause: Sequence[int]) -> bool:
+        """Append one record; False when dropped (policy, oversize or closed)."""
+        if self._closed:
+            return False
+        nlits = len(clause)
+        if nlits == 0 or nlits > min(MAX_CLAUSE_LITS, self.policy.max_lits):
+            self.dropped_oversize += 1
+            return False
+        if level < self.policy.min_level:
+            return False
+        record = _encode_record(self.member, level, clause)
+        if len(record) > self.capacity:
+            self.dropped_oversize += 1
+            return False
+        buf = self._shm.buf
+        with self._lock:
+            _, _, head, records = _HEADER.unpack_from(buf, 0)
+            start = head % self.capacity
+            first = min(len(record), self.capacity - start)
+            data_base = _HEADER.size
+            buf[data_base + start:data_base + start + first] = record[:first]
+            if first < len(record):  # wrap around
+                buf[data_base:data_base + len(record) - first] = record[first:]
+            _HEADER.pack_into(buf, 0, _MAGIC, self.capacity, head + len(record), records + 1)
+        self.published += 1
+        return True
+
+    # -- read -----------------------------------------------------------
+    def pending(self) -> bool:
+        """Cheap unlocked peek: has anything been written past our cursor?
+
+        A torn read can only misreport transiently; the next locked drain
+        sees the truth, so this is safe as a throttling hint.
+        """
+        if self._closed:
+            return False
+        _, _, head, _ = _HEADER.unpack_from(self._shm.buf, 0)
+        return head != self._cursor
+
+    def drain(self) -> Tuple[List[BusRecord], int]:
+        """Return (new records from other members, records lost to lag)."""
+        if self._closed:
+            return [], 0
+        buf = self._shm.buf
+        with self._lock:
+            _, _, head, _ = _HEADER.unpack_from(buf, 0)
+            lost = 0
+            if head - self._cursor > self.capacity:
+                # Fell behind by more than one ring: everything between
+                # cursor and head-capacity is unrecoverable, and anything
+                # newer may be mid-overwrite.  Resynchronize at the head.
+                lost = 1
+                self._cursor = head
+                data = b""
+            else:
+                start = self._cursor % self.capacity
+                length = head - self._cursor
+                data_base = _HEADER.size
+                first = min(length, self.capacity - start)
+                data = bytes(buf[data_base + start:data_base + start + first])
+                if first < length:
+                    data += bytes(buf[data_base:data_base + length - first])
+                self._cursor = head
+        if lost:
+            self.overflows += 1
+        records = [r for r in _decode_records(data) if r.member != self.member]
+        self.received += len(records)
+        return records, lost
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._owned:
+            try:
+                self._shm.close()
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+
+
+def _attach_shared_memory(name: str):
+    """Attach to an existing segment without resource-tracker ownership.
+
+    On CPython < 3.13 merely *attaching* registers the segment with the
+    resource tracker exactly like creating it does, so attaching members
+    would fight the creating parent over who unlinks the segment and the
+    tracker would log spurious leak/KeyError noise at exit.  Python 3.13
+    grew ``track=False`` for precisely this; on older versions we briefly
+    suppress the register call during attach.  Only the portfolio parent
+    (the creator) ever unlinks.
+    """
+    try:
+        return _shm.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        pass
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+
+    def _no_track(resource_name, rtype):  # pragma: no cover - trivial
+        if rtype != "shared_memory":
+            original_register(resource_name, rtype)
+
+    resource_tracker.register = _no_track
+    try:
+        return _shm.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+class QueueLemmaBus:
+    """Queue-backed fallback transport: one queue per member, fan-out writes."""
+
+    transport = "queue"
+
+    def __init__(
+        self,
+        members: int,
+        capacity_records: int = 4096,
+        policy: Optional[SharePolicy] = None,
+    ):
+        if members < 1:
+            raise LemmaBusError("queue bus needs at least one member")
+        ctx = multiprocessing.get_context()
+        self.policy = policy or SharePolicy()
+        self._queues = tuple(ctx.Queue(capacity_records) for _ in range(members))
+        self._published = ctx.Value("q", 0)
+        self._closed = False
+
+    def port_handle(self, member: int) -> PortHandle:
+        return PortHandle(
+            transport="queue",
+            member=member,
+            policy=self.policy,
+            queues=self._queues + (self._published,),
+        )
+
+    def open_local_port(self, member: int) -> "QueuePort":
+        return QueuePort(self.port_handle(member))
+
+    def total_published(self) -> int:
+        with self._published.get_lock():
+            return int(self._published.value)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for q in self._queues:
+            try:
+                while True:
+                    q.get_nowait()
+            except (queue_module.Empty, OSError, ValueError):
+                pass
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+
+    def unlink(self) -> None:
+        """Queues have no named OS resource; nothing to do."""
+
+
+class QueuePort:
+    """One member's view of the queue bus."""
+
+    def __init__(self, handle: PortHandle):
+        self.member = handle.member
+        self.policy = handle.policy
+        queues = handle.queues
+        self._queues = queues[:-1]
+        self._published_counter = queues[-1]
+        self._closed = False
+        self.published = 0
+        self.received = 0
+        self.dropped_oversize = 0
+        self.overflows = 0
+
+    def publish(self, level: int, clause: Sequence[int]) -> bool:
+        if self._closed:
+            return False
+        if not clause or len(clause) > min(MAX_CLAUSE_LITS, self.policy.max_lits):
+            self.dropped_oversize += 1
+            return False
+        if level < self.policy.min_level:
+            return False
+        record = BusRecord(member=self.member, level=level, clause=tuple(clause))
+        delivered = False
+        for index, q in enumerate(self._queues):
+            if index == self.member:
+                continue
+            try:
+                q.put_nowait(record)
+                delivered = True
+            except (queue_module.Full, OSError, ValueError):
+                self.overflows += 1
+        if delivered:
+            self.published += 1
+            try:
+                with self._published_counter.get_lock():
+                    self._published_counter.value += 1
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+        return delivered
+
+    def pending(self) -> bool:
+        if self._closed:
+            return False
+        try:
+            return not self._queues[self.member].empty()
+        except (OSError, ValueError):  # pragma: no cover
+            return False
+
+    def drain(self) -> Tuple[List[BusRecord], int]:
+        if self._closed:
+            return [], 0
+        records: List[BusRecord] = []
+        own = self._queues[self.member]
+        while True:
+            try:
+                record = own.get_nowait()
+            except (queue_module.Empty, OSError, ValueError):
+                break
+            if isinstance(record, BusRecord) and record.member != self.member:
+                records.append(record)
+        self.received += len(records)
+        return records, 0
+
+    def close(self) -> None:
+        self._closed = True
+
+
+def create_bus(
+    members: int,
+    transport: str = "shm",
+    capacity: int = DEFAULT_CAPACITY,
+    policy: Optional[SharePolicy] = None,
+):
+    """Create the parent-side bus, falling back to queues when shm fails."""
+    if transport == "shm":
+        try:
+            return ShmRingBus(capacity=capacity, policy=policy)
+        except (LemmaBusError, OSError, PermissionError):
+            transport = "queue"
+    if transport == "queue":
+        return QueueLemmaBus(members, policy=policy)
+    raise LemmaBusError(f"unknown lemma-bus transport {transport!r}")
+
+
+def open_port(handle: PortHandle):
+    """Open a member's port from its picklable handle (child-process side)."""
+    if handle.transport == "shm":
+        return ShmPort(handle)
+    if handle.transport == "queue":
+        return QueuePort(handle)
+    raise LemmaBusError(f"unknown lemma-bus transport {handle.transport!r}")

@@ -15,6 +15,16 @@ expired.  The parent enforces the ``time_limit`` *hard* — members stuck
 inside a single SAT call are killed shortly after the budget, so a
 portfolio ``check`` never overshoots the budget by more than a small
 grace period.
+
+With ``PortfolioOptions.share`` (the default) the race is *cooperative*:
+the parent opens a shared-memory lemma bus (:mod:`repro.engines.lembus`),
+every member publishes its newly proven frame lemmas and drains foreign
+ones at its check-in points, and each import is revalidated locally
+before installation — a poisoned or stale bus record can waste a SAT
+call but can never flip a verdict.  Members may now repeat an engine
+kind (``["ic3-pl", "ic3-pl", "bmc"]``): duplicates are auto-labelled
+``name#k`` and diversified with distinct RNG seeds and configuration
+jitter so that they explore different lemma sequences worth exchanging.
 """
 
 from __future__ import annotations
@@ -22,13 +32,21 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.connection
 import time
+from collections import Counter
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.aiger.aig import AIG
-from repro.core.options import IC3Options
+from repro.core.options import IC3Options, LiteralOrdering
 from repro.core.result import CheckOutcome, CheckResult
 from repro.core.stats import IC3Stats
 from repro.engines.adapters import finish_outcome, prepare_model
+from repro.engines.lembus import (
+    DEFAULT_CAPACITY,
+    SharePolicy,
+    create_bus,
+    open_port,
+)
 from repro.engines.registry import canonical_name, create_engine, register_engine
 from repro.obs.tracer import (
     get_tracer,
@@ -39,17 +57,85 @@ from repro.obs.tracer import (
 DEFAULT_PORTFOLIO: Tuple[str, ...] = ("ic3-pl", "bmc", "kind")
 
 _POLL_INTERVAL = 0.05
+
+# Engine kinds whose members publish frame lemmas onto the bus; the
+# unrolling engines (bmc, kind) are import-only.
+_EXPORTING_ENGINES = ("ic3", "ic3-pl")
 """How often the parent re-checks deadlines while waiting on members."""
 
 
-def _run_member(conn, engine_name, aig, options, property_index, time_limit, kwargs):
+@dataclass
+class PortfolioOptions:
+    """Cooperative-portfolio configuration (lemma sharing + diversification)."""
+
+    share: bool = True
+    """Exchange frame lemmas between members over the shared bus."""
+
+    transport: str = "shm"
+    """Bus transport: ``"shm"`` ring buffer, ``"queue"`` fallback
+    (shm silently falls back to queues when the platform refuses it)."""
+
+    capacity: int = DEFAULT_CAPACITY
+    """Ring-buffer size in bytes (shm transport only)."""
+
+    max_lits: int = 8
+    """Quality filter: only clauses this short are worth shipping."""
+
+    min_level: int = 2
+    """Quality filter: minimum frame level before a lemma is exported."""
+
+    base_seed: int = 1
+    """Member ``i`` runs with SAT-kernel seed ``base_seed + i`` so the
+    kernels branch differently and produce complementary lemmas.
+    0 disables seeding entirely (all members run the deterministic
+    unseeded decision order)."""
+
+    diversify: bool = True
+    """Apply per-member configuration jitter to duplicated engine kinds."""
+
+
+@dataclass
+class _MemberPlan:
+    """One spawn slot: resolved label, engine name, options and kwargs."""
+
+    label: str
+    engine: str
+    options: Optional[IC3Options]
+    kwargs: Dict[str, object] = field(default_factory=dict)
+
+
+_IC3_JITTER: Tuple[Dict[str, object], ...] = (
+    {"literal_ordering": LiteralOrdering.ACTIVITY},
+    {"literal_ordering": LiteralOrdering.REVERSE_INDEX},
+    {"use_unsat_core_shrinking": False},
+)
+"""Option overrides cycled across duplicated IC3-kind members."""
+
+_IC3_KWARG_JITTER: Tuple[Dict[str, object], ...] = (
+    {"sat_backend": "arena"},
+    {"frame_backend": "per-frame"},
+    {},
+)
+"""Substrate overrides cycled across duplicated IC3-kind members
+(explicit portfolio-level or per-member settings still win)."""
+
+
+def _run_member(
+    conn, label, engine_name, aig, options, property_index, time_limit, kwargs,
+    lemma_handle=None,
+):
     """Subprocess body: build one member engine, run it, ship the outcome back."""
-    maybe_install_worker_tracer(f"portfolio-{engine_name}")
+    maybe_install_worker_tracer(f"portfolio-{label}")
+    port = None
     try:
+        if lemma_handle is not None:
+            port = open_port(lemma_handle)
+            kwargs = dict(kwargs)
+            kwargs["lemma_port"] = port
         tracer = get_tracer()
         if tracer.enabled:
             with tracer.span(
-                "portfolio.member", cat="engine", member=engine_name
+                "portfolio.member", cat="engine", member=label
             ) as span:
                 engine = create_engine(
                     engine_name, aig, options=options, property_index=property_index, **kwargs
@@ -68,6 +154,8 @@ def _run_member(conn, engine_name, aig, options, property_index, time_limit, kwa
         except (BrokenPipeError, OSError):
             pass
     finally:
+        if port is not None:
+            port.close()
         shutdown_worker_tracer()
         conn.close()
 
@@ -90,15 +178,17 @@ class PortfolioEngine:
         passes: Optional[Sequence[str]] = None,
         frame_backend: Optional[str] = None,
         sat_backend: Optional[str] = None,
+        portfolio_options: Optional[PortfolioOptions] = None,
         **_ignored,
     ):
         if not engines:
             raise ValueError("portfolio needs at least one member engine")
         canonical = [canonical_name(member) for member in engines]  # fails fast on unknowns
-        if len(set(canonical)) != len(canonical):
-            raise ValueError("portfolio members must be distinct")
         self.engines = tuple(engines)
         self.options = options
+        self.portfolio_options = (
+            portfolio_options if portfolio_options is not None else PortfolioOptions()
+        )
         self.jobs = jobs if jobs and jobs > 0 else len(self.engines)
         self.member_kwargs = dict(member_kwargs or {})
         # Substrate selection applies to every member that honours it
@@ -115,6 +205,42 @@ class PortfolioEngine:
         self._aig, self.property_index, self._reduction = prepare_model(
             aig, property_index, reduce, passes
         )
+        self._plan = self._build_plan(canonical)
+
+    # ------------------------------------------------------------------
+    def _build_plan(self, canonical: Sequence[str]) -> List[_MemberPlan]:
+        """Resolve labels, diversification jitter and seeds for every member.
+
+        Duplicated engine kinds get ``name#k`` labels plus cycled option
+        and substrate jitter; every member gets a distinct SAT-kernel
+        seed derived from ``PortfolioOptions.base_seed``.  Per-member
+        kwargs supplied by the caller (keyed by label, falling back to
+        the raw engine name) always win.
+        """
+        pf = self.portfolio_options
+        totals = Counter(canonical)
+        seen: Counter = Counter()
+        plan: List[_MemberPlan] = []
+        for index, (member, canon) in enumerate(zip(self.engines, canonical)):
+            dup = seen[canon]
+            seen[canon] += 1
+            label = member if totals[canon] == 1 else f"{member}#{dup + 1}"
+            member_options = self.options
+            kwargs: Dict[str, object] = {"reduce": False}
+            if pf.diversify and dup and canon in ("ic3", "ic3-pl"):
+                base = member_options if member_options is not None else IC3Options()
+                member_options = replace(
+                    base, **_IC3_JITTER[(dup - 1) % len(_IC3_JITTER)]
+                )
+                kwargs.update(_IC3_KWARG_JITTER[(dup - 1) % len(_IC3_KWARG_JITTER)])
+            if pf.base_seed:
+                kwargs["seed"] = (
+                    pf.base_seed + index if pf.diversify else pf.base_seed
+                )
+            kwargs.update(self._common_kwargs)
+            kwargs.update(self.member_kwargs.get(label, self.member_kwargs.get(member, {})))
+            plan.append(_MemberPlan(label, member, member_options, kwargs))
+        return plan
 
     # ------------------------------------------------------------------
     def check(self, time_limit: Optional[float] = None) -> CheckOutcome:
@@ -137,68 +263,98 @@ class PortfolioEngine:
         )
 
         ctx = multiprocessing.get_context()
-        pending: List[str] = list(self.engines)
-        running: Dict[object, Tuple[str, object]] = {}  # conn -> (name, process)
+        pending: List[_MemberPlan] = list(self._plan)
+        running: Dict[object, Tuple[_MemberPlan, object]] = {}  # conn -> (plan, process)
         unknown: List[Tuple[str, CheckOutcome]] = []
         errors: List[Tuple[str, str]] = []
+        reports: Dict[str, IC3Stats] = {}
+
+        pf = self.portfolio_options
+        bus = None
+        # Only IC3-family members export lemmas; a bus without at least
+        # one exporter would leave import-only members (BMC, k-induction)
+        # listening to silence — k-induction in particular would then sit
+        # in its cooperative wait instead of conceding early.
+        exporters = sum(1 for plan in self._plan if plan.engine in _EXPORTING_ENGINES)
+        if pf.share and len(self._plan) >= 2 and exporters >= 1:
+            bus = create_bus(
+                len(self._plan),
+                transport=pf.transport,
+                capacity=pf.capacity,
+                policy=SharePolicy(max_lits=pf.max_lits, min_level=pf.min_level),
+            )
 
         try:
             while pending or running:
                 while pending and len(running) < self.jobs:
-                    member = pending.pop(0)
+                    plan = pending.pop(0)
+                    member_index = self._plan.index(plan)
                     parent_conn, child_conn = ctx.Pipe(duplex=False)
                     remaining = (
                         max(0.0, deadline - time.perf_counter())
                         if deadline is not None
                         else None
                     )
-                    kwargs = {"reduce": False}
-                    kwargs.update(self._common_kwargs)
-                    kwargs.update(self.member_kwargs.get(member, {}))
+                    handle = (
+                        bus.port_handle(member_index) if bus is not None else None
+                    )
                     proc = ctx.Process(
                         target=_run_member,
                         args=(
                             child_conn,
-                            member,
+                            plan.label,
+                            plan.engine,
                             self._aig,
-                            self.options,
+                            plan.options,
                             self.property_index,
                             remaining,
-                            kwargs,
+                            plan.kwargs,
+                            handle,
                         ),
                         daemon=True,
-                        name=f"portfolio-{member}",
+                        name=f"portfolio-{plan.label}",
                     )
                     proc.start()
                     child_conn.close()
-                    running[parent_conn] = (member, proc)
+                    running[parent_conn] = (plan, proc)
 
                 ready = multiprocessing.connection.wait(
                     list(running), timeout=_POLL_INTERVAL
                 )
                 for conn in ready:
-                    member, proc = running.pop(conn)
+                    plan, proc = running.pop(conn)
                     kind, payload = self._receive(conn)
                     proc.join(timeout=1.0)
+                    if kind == "ok":
+                        reports[plan.label] = payload.stats
                     if kind == "ok" and payload.solved:
                         payload = finish_outcome(payload, self._reduction)
-                        payload.winner = member
+                        payload.winner = plan.label
                         payload.engine = self.name
                         payload.runtime = time.perf_counter() - start
+                        payload.sharing = self._sharing_summary(bus, reports)
                         return payload
                     if kind == "ok":
-                        unknown.append((member, payload))
+                        unknown.append((plan.label, payload))
                     else:
-                        errors.append((member, payload))
+                        errors.append((plan.label, payload))
 
                 if hard_deadline is not None and time.perf_counter() > hard_deadline:
                     break
         finally:
-            for conn, (member, proc) in running.items():
+            for conn, (plan, proc) in running.items():
                 _terminate(proc)
                 conn.close()
+            if bus is not None:
+                self._sharing = self._sharing_summary(bus, reports)
+                bus.close()
+                bus.unlink()
+            else:
+                self._sharing = None
 
-        return self._inconclusive(start, deadline, unknown, errors)
+        outcome = self._inconclusive(start, deadline, unknown, errors)
+        outcome.sharing = self._sharing
+        return outcome
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -210,6 +366,38 @@ class PortfolioEngine:
         finally:
             conn.close()
         return kind, payload
+
+    def _sharing_summary(
+        self, bus, reports: Dict[str, IC3Stats]
+    ) -> Optional[Dict[str, object]]:
+        """Bus accounting attached to the outcome (and traced) after a race."""
+        if bus is None:
+            return None
+        members = {
+            label: {
+                "lemmas_published": stats.lemmas_published,
+                "lemmas_received": stats.lemmas_received,
+                "lemmas_validated": stats.lemmas_validated,
+                "lemmas_rejected": stats.lemmas_rejected,
+                "lemmas_imported": stats.lemmas_imported,
+                "bus_overflows": stats.bus_overflows,
+            }
+            for label, stats in reports.items()
+        }
+        summary = {
+            "transport": bus.transport,
+            "bus_published": bus.total_published(),
+            "members": members,
+        }
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "portfolio.share",
+                cat="share",
+                published=summary["bus_published"],
+                members=len(members),
+            )
+        return summary
 
     def _inconclusive(self, start, deadline, unknown, errors) -> CheckOutcome:
         stats = IC3Stats()

@@ -120,6 +120,28 @@ def apply_sat_backend(
     ]
 
 
+def apply_seed(
+    configs: Sequence[EngineConfig], seed: Optional[int]
+) -> List[EngineConfig]:
+    """Override the SAT-kernel RNG seed of every configuration.
+
+    Mirrors :func:`apply_sat_backend` for the ``--seed`` override.  The
+    same seed is applied to every configuration — per-run determinism,
+    not portfolio diversification (the portfolio derives distinct
+    per-member seeds itself, see ``PortfolioOptions.base_seed``).
+    """
+    if seed is None:
+        return list(configs)
+    return [
+        replace(config, options=replace(config.options, seed=seed))
+        if config.options is not None
+        else replace(
+            config, engine_kwargs={**config.engine_kwargs, "seed": seed}
+        )
+        for config in configs
+    ]
+
+
 def prediction_pairs() -> List[Tuple[str, str]]:
     """(base, prediction) configuration name pairs used by Figures 3 and 4."""
     return [("RIC3", "RIC3-pl"), ("IC3ref", "IC3ref-pl")]

@@ -87,6 +87,23 @@ Schema v7 (``repro-check/manifest/v7``) additions over v6:
   microseconds.  The same attribution is available per run, at full
   span granularity, through ``repro-check evaluate --trace-out`` and
   ``repro-check trace-report`` (the :mod:`repro.obs` tracing layer).
+
+Schema v8 (``repro-check/manifest/v8``) additions over v7:
+
+* per-result ``stats`` now includes the SAT-kernel search totals
+  ``solver_conflicts`` / ``solver_decisions`` / ``solver_propagations``
+  (aggregated over every kernel the run created) and the cooperative
+  lemma-sharing counters ``lemmas_published`` / ``lemmas_received`` /
+  ``lemmas_validated`` / ``lemmas_rejected`` / ``lemmas_imported`` /
+  ``bus_overflows`` plus the ``time_import_validation`` phase timer
+  (seconds spent revalidating foreign clauses before installing them);
+* per-configuration ``seed`` — the SAT-kernel RNG seed the
+  configuration ran with (0 for the deterministic unseeded order, None
+  for engines that do not take IC3 options);
+* per-result ``sharing`` — for cooperative portfolio runs, the lemma
+  bus accounting (transport, total records published, per-member
+  exchange counters of every member that reported back); None when the
+  run did not share lemmas.
 """
 
 from __future__ import annotations
@@ -98,7 +115,7 @@ from typing import Dict, Optional, Sequence
 from repro.harness.configs import EngineConfig
 from repro.harness.runner import CaseResult, SuiteResult
 
-MANIFEST_SCHEMA = "repro-check/manifest/v7"
+MANIFEST_SCHEMA = "repro-check/manifest/v8"
 
 
 def _phase_times(results: Sequence[CaseResult]) -> Dict[str, float]:
@@ -175,6 +192,9 @@ def build_manifest(
             "sat_backend": (
                 config.options.sat_backend if config.options is not None else None
             ),
+            "seed": (
+                config.options.seed if config.options is not None else None
+            ),
         }
         for config in (configs or [])
     }
@@ -195,6 +215,7 @@ def build_manifest(
             "reduction": _reduction_sizes(r),
             "properties": r.properties,
             "transformation": r.transformation,
+            "sharing": r.sharing,
             "error": r.error,
         }
         for r in suite_result.results

@@ -18,6 +18,7 @@ from repro.harness.configs import (
     EngineConfig,
     apply_frame_backend,
     apply_sat_backend,
+    apply_seed,
     paper_configurations,
     prediction_pairs,
 )
@@ -101,6 +102,7 @@ def run_paper_evaluation(
     reduce: bool = True,
     frame_backend: Optional[str] = None,
     sat_backend: Optional[str] = None,
+    seed: Optional[int] = None,
 ) -> PaperReport:
     """Run the full evaluation and return the assembled report.
 
@@ -110,7 +112,8 @@ def run_paper_evaluation(
     ``frame_backend`` overrides the frame-management substrate of every
     IC3-based configuration (``"monolithic"`` or ``"per-frame"``);
     ``sat_backend`` overrides the SAT kernel the same way (``"default"``
-    or ``"arena"``).
+    or ``"arena"``); ``seed`` sets the kernels' RNG seed on every
+    configuration (0/None keeps the deterministic unseeded order).
     """
     if cases is None:
         cases = default_suite()
@@ -118,6 +121,7 @@ def run_paper_evaluation(
         configs = paper_configurations()
     configs = apply_frame_backend(configs, frame_backend)
     configs = apply_sat_backend(configs, sat_backend)
+    configs = apply_seed(configs, seed)
 
     runner = BenchmarkRunner(
         cases,

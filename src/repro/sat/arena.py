@@ -41,6 +41,7 @@ over the canonical suite and asserts zero verdict drift.
 
 from __future__ import annotations
 
+import random
 from array import array
 from heapq import heapify, heappop, heappush
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
@@ -156,6 +157,7 @@ class ArenaSolver:
         self._model: Optional[List[int]] = None
         self._conflict_core: Optional[List[int]] = None
         self._assumptions: List[int] = []  # encoded
+        self._rng = None
 
         # Activation-literal machinery (see Solver.new_activation).
         self._act_groups: Dict[int, List[ArenaClauseRef]] = {}
@@ -1147,11 +1149,29 @@ class ArenaSolver:
                     c for c in dependents if not pool[c] & _DELETED
                 ]
 
+    def set_seed(self, seed: int) -> None:
+        """Enable seeded random branching (MiniSat-style diversification).
+
+        Mirrors :meth:`repro.sat.solver.Solver.set_seed`: a ~2% fraction
+        of decisions picks a uniformly random unassigned variable.  Seed
+        0 (the default) disables the randomization, keeping the kernel
+        identical to its unseeded behaviour.
+        """
+        self._rng = random.Random(seed) if seed else None
+
     def _pick_branch_literal(self) -> int:
         heap = self._heap
         heap_key = self._heap_key
         values = self._values
         branchable = self._branchable
+        rng = self._rng
+        if rng is not None and self._num_vars and rng.random() < 0.02:
+            var = rng.randint(1, self._num_vars)
+            if values[var << 1] == 0 and branchable[var]:
+                # The variable's heap entry (if any) stays live; pops
+                # skip assigned variables and ``_cancel_until`` only
+                # reinserts variables whose key slot is empty.
+                return (var << 1) | self._phase[var]
         while heap:
             key, var = heappop(heap)
             if heap_key[var] != key:

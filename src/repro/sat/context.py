@@ -102,6 +102,19 @@ register_sat_backend("default", Solver)
 register_sat_backend("arena", ArenaSolver)
 
 
+def apply_solver_seed(solver, seed: int) -> None:
+    """Seed a solver's branching randomization if the backend supports it.
+
+    Both built-in kernels expose ``set_seed``; custom registered backends
+    may not, in which case the seed is silently ignored (the solver just
+    stays deterministic-unseeded, which is always sound).
+    """
+    if seed:
+        set_seed = getattr(solver, "set_seed", None)
+        if set_seed is not None:
+            set_seed(seed)
+
+
 @dataclass
 class ContextStats:
     """Counters accumulated over the lifetime of one context."""
@@ -131,9 +144,11 @@ class SatContext:
     assumptions that select which scopes are active.
     """
 
-    def __init__(self, backend: str = "default"):
+    def __init__(self, backend: str = "default", seed: int = 0):
         self.backend_name = backend
         self.solver = sat_backend(backend)()
+        if seed:
+            apply_solver_seed(self.solver, seed)
         self.stats = ContextStats()
 
     # ------------------------------------------------------------------

@@ -19,6 +19,7 @@ Typical use::
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -137,6 +138,7 @@ class Solver:
         self._model: Optional[List[int]] = None
         self._conflict_core: Optional[List[int]] = None
         self._assumptions: List[int] = []
+        self._rng = None
 
         # Activation-literal machinery: each *active* activation variable
         # guards a group of removable clauses (every clause of the group
@@ -927,7 +929,27 @@ class Solver:
             if len(dependents) > 32:
                 self._act_learnts[act] = [c for c in dependents if not c.deleted]
 
+    def set_seed(self, seed: int) -> None:
+        """Enable seeded random branching (MiniSat-style diversification).
+
+        A small fraction of decisions picks a uniformly random unassigned
+        variable instead of the top-activity one, steering otherwise
+        identical solvers into different parts of the search space —
+        the per-member jitter of the cooperative portfolio.  Seed 0 (the
+        default) disables the randomization entirely, keeping the kernel
+        byte-for-byte deterministic against its unseeded behaviour; any
+        other seed is itself fully deterministic.
+        """
+        self._rng = random.Random(seed) if seed else None
+
     def _pick_branch_literal(self) -> Optional[int]:
+        rng = self._rng
+        if rng is not None and self._num_vars and rng.random() < 0.02:
+            var = rng.randint(1, self._num_vars)
+            if self._assigns[var] == _UNDEF and self._branchable[var]:
+                # The variable stays in the order heap; assigned entries
+                # are skipped on pop and insert() is idempotent.
+                return var if self._polarity[var] else -var
         while not self._order.is_empty():
             var = self._order.pop_max()
             if self._assigns[var] == _UNDEF and self._branchable[var]:

@@ -114,16 +114,25 @@ class TestPortfolio:
         with pytest.raises(KeyError):
             PortfolioEngine(token_ring(3).aig, engines=("ic3", "bogus"))
 
-    def test_rejects_empty_and_duplicate_members(self):
+    def test_rejects_empty_members(self):
         with pytest.raises(ValueError):
             PortfolioEngine(token_ring(3).aig, engines=())
-        with pytest.raises(ValueError):
-            PortfolioEngine(token_ring(3).aig, engines=("ic3", "ic3"))
 
-    def test_rejects_alias_duplicates(self):
-        # "k-induction" is an alias of "kind" — racing both is a waste.
-        with pytest.raises(ValueError):
-            PortfolioEngine(token_ring(3).aig, engines=("kind", "k-induction"))
+    def test_duplicate_members_get_diversified_labels(self):
+        # Duplicated kinds are allowed and auto-labelled; diversification
+        # gives each a distinct seed (and jitters duplicated IC3 configs).
+        engine = PortfolioEngine(token_ring(3).aig, engines=("ic3", "ic3", "bmc"))
+        labels = [plan.label for plan in engine._plan]
+        assert labels == ["ic3#1", "ic3#2", "bmc"]
+        seeds = [plan.kwargs.get("seed") for plan in engine._plan]
+        assert len(set(seeds)) == len(seeds)
+        assert engine._plan[0].options != engine._plan[1].options
+
+    def test_alias_duplicates_are_labelled_together(self):
+        # "k-induction" is an alias of "kind" — duplicates by canonical name.
+        engine = PortfolioEngine(token_ring(3).aig, engines=("kind", "k-induction"))
+        labels = [plan.label for plan in engine._plan]
+        assert labels == ["kind#1", "k-induction#2"]
 
     def test_safe_race_records_winner(self):
         outcome = PortfolioEngine(token_ring(3).aig).check(time_limit=30)

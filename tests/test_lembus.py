@@ -1,0 +1,170 @@
+"""Unit tests for the shared-memory lemma bus and its queue fallback.
+
+The bus is deliberately dumb — length-prefixed records in a ring, no
+consensus — because every reader revalidates what it drains.  These tests
+pin down the transport contract both implementations share: publish
+filtering, member-local echo suppression, overflow accounting, and clean
+teardown (no leaked shm segments).
+"""
+
+import glob
+import os
+import time
+
+import pytest
+
+from repro.engines.lembus import (
+    DEFAULT_CAPACITY,
+    MAX_CLAUSE_LITS,
+    BusRecord,
+    LemmaBusError,
+    QueueLemmaBus,
+    SharePolicy,
+    ShmRingBus,
+    _decode_records,
+    _encode_record,
+    create_bus,
+    open_port,
+)
+
+
+def _drain_until(port, expect, timeout=2.0):
+    """Drain repeatedly until ``expect`` records arrived (queue latency)."""
+    records, lost = [], 0
+    deadline = time.monotonic() + timeout
+    while len(records) < expect and time.monotonic() < deadline:
+        batch, dropped = port.drain()
+        records.extend(batch)
+        lost += dropped
+        if len(records) < expect:
+            time.sleep(0.01)
+    return records, lost
+
+
+class TestRecordCodec:
+    def test_roundtrip(self):
+        data = _encode_record(2, 5, (1, -3, 7)) + _encode_record(0, 1, (-2,))
+        records = _decode_records(data)
+        assert records == [
+            BusRecord(member=2, level=5, clause=(1, -3, 7)),
+            BusRecord(member=0, level=1, clause=(-2,)),
+        ]
+
+    def test_truncated_tail_is_dropped(self):
+        data = _encode_record(1, 2, (4, -5))
+        records = _decode_records(data[:-2])
+        assert records == []
+
+    def test_corrupted_length_stops_parsing(self):
+        good = _encode_record(0, 2, (1,))
+        bad = b"\xff" * 16
+        assert _decode_records(good + bad) == [
+            BusRecord(member=0, level=2, clause=(1,))
+        ]
+
+
+@pytest.mark.parametrize("transport", ["shm", "queue"])
+class TestBusTransport:
+    def _make(self, transport, **kwargs):
+        bus = create_bus(3, transport=transport, **kwargs)
+        assert bus.transport in ("shm", "queue")
+        return bus
+
+    def test_fanout_excludes_author(self, transport):
+        bus = self._make(transport)
+        try:
+            p0 = open_port(bus.port_handle(0))
+            p1 = open_port(bus.port_handle(1))
+            p2 = open_port(bus.port_handle(2))
+            assert p0.publish(3, [1, -2])
+            assert p1.publish(2, [-4])
+            seen2, lost2 = _drain_until(p2, expect=2)
+            assert lost2 == 0
+            assert {r.member for r in seen2} == {0, 1}
+            seen0, _ = _drain_until(p0, expect=1)
+            assert [r.member for r in seen0] == [1]  # own record filtered
+            assert bus.total_published() == 2
+            for port in (p0, p1, p2):
+                port.close()
+        finally:
+            bus.close()
+            bus.unlink()
+
+    def test_policy_filters_at_publish(self, transport):
+        bus = self._make(transport, policy=SharePolicy(max_lits=2, min_level=3))
+        try:
+            port = open_port(bus.port_handle(0))
+            assert not port.publish(3, [1, 2, 3])   # too long
+            assert not port.publish(2, [1])          # level too low
+            assert port.publish(3, [1, -2])
+            assert not port.publish(5, list(range(1, MAX_CLAUSE_LITS + 2)))
+            assert bus.total_published() == 1
+            assert port.published == 1
+            assert port.dropped_oversize >= 1
+            port.close()
+        finally:
+            bus.close()
+            bus.unlink()
+
+    def test_overflow_is_counted_not_fatal(self, transport):
+        if transport == "shm":
+            bus = ShmRingBus(capacity=4096)
+        else:
+            bus = QueueLemmaBus(2, capacity_records=16)
+        try:
+            writer = open_port(bus.port_handle(0))
+            reader = open_port(bus.port_handle(1))
+            for i in range(2000):
+                writer.publish(4, [1 + (i % 30), -40])
+            time.sleep(0.1)  # let queue feeder threads catch up
+            records, lost = reader.drain()
+            # Either some records were lost to ring lag (counted), or the
+            # transport buffered everything; never an exception.
+            assert lost >= 0 and reader.overflows == (1 if lost else 0) or lost == 0
+            assert all(isinstance(r, BusRecord) for r in records)
+            # The bus stays usable after an overflow.
+            writer.publish(4, [7, -8])
+            follow_up, _ = _drain_until(reader, expect=1)
+            assert any(r.clause == (7, -8) for r in follow_up)
+            writer.close()
+            reader.close()
+        finally:
+            bus.close()
+            bus.unlink()
+
+
+class TestShmLifecycle:
+    def test_unlink_removes_segment(self):
+        bus = ShmRingBus(capacity=4096)
+        name = bus.name
+        path = f"/dev/shm/{name.lstrip('/')}"
+        had_dev_shm = os.path.exists(path)
+        bus.close()
+        bus.unlink()
+        if had_dev_shm:
+            assert not os.path.exists(path)
+
+    def test_no_segment_leak_across_create_close_cycles(self):
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm on this platform")
+        before = set(glob.glob("/dev/shm/psm_*") + glob.glob("/dev/shm/*psm*"))
+        for _ in range(5):
+            bus = ShmRingBus(capacity=4096)
+            port = open_port(bus.port_handle(0))
+            port.publish(3, [1, -2])
+            port.close()
+            bus.close()
+            bus.unlink()
+        after = set(glob.glob("/dev/shm/psm_*") + glob.glob("/dev/shm/*psm*"))
+        assert after - before == set()
+
+    def test_too_small_capacity_rejected(self):
+        with pytest.raises(LemmaBusError):
+            ShmRingBus(capacity=16)
+
+    def test_create_bus_unknown_transport(self):
+        with pytest.raises(LemmaBusError):
+            create_bus(2, transport="pigeon")
+
+    def test_default_capacity_is_sane(self):
+        assert DEFAULT_CAPACITY >= 1 << 16

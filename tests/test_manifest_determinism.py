@@ -35,6 +35,7 @@ TIMING_FIELDS = {
     "time_generalization",
     "time_prediction",
     "time_propagation",
+    "time_import_validation",
     "par1_time",
     "phase_times",
     "wall_clock",
@@ -75,7 +76,7 @@ class TestManifestDeterminism:
 
     def test_substrate_stats_present_and_deterministic(self):
         manifest = _manifest(jobs=4)
-        assert manifest["schema"] == MANIFEST_SCHEMA == "repro-check/manifest/v7"
+        assert manifest["schema"] == MANIFEST_SCHEMA == "repro-check/manifest/v8"
         for result in manifest["results"]:
             stats = result["stats"]
             for field in (
@@ -93,14 +94,29 @@ class TestManifestDeterminism:
                 "literal_pool_bytes",
                 "arena_compactions",
                 "solver_removed_clauses",
+                # v8: kernel search totals + lemma-sharing counters.
+                "solver_conflicts",
+                "solver_decisions",
+                "solver_propagations",
+                "lemmas_published",
+                "lemmas_received",
+                "lemmas_validated",
+                "lemmas_rejected",
+                "lemmas_imported",
+                "bus_overflows",
             ):
                 assert field in stats
                 assert isinstance(stats[field], int)
+            assert "time_import_validation" in stats
+            # No bus in these runs: exchange counters must stay zero.
+            assert stats["lemmas_imported"] == 0
+            assert result["sharing"] is None
             assert result["validated"] is True
-        # Every configuration records its solving substrate.
+        # Every configuration records its solving substrate and seed.
         for meta in manifest["configs"].values():
             assert meta["frame_backend"] == "monolithic"
             assert meta["sat_backend"] == "default"
+            assert meta["seed"] == 0
         # v7: every configuration total carries the phase-time breakdown.
         for totals in manifest["totals"].values():
             phase_times = totals["phase_times"]

@@ -1,0 +1,222 @@
+"""Cooperative portfolio: sharing races, teardown hygiene, seeding.
+
+Three contracts pinned here:
+
+* a sharing race returns the same verdict as a non-sharing race and
+  reports its bus accounting (transport, per-member counters);
+* killing the losers leaks nothing — every shm segment the race created
+  is gone afterwards and no member process survives;
+* ``--seed`` is deterministic end to end: the same seed reproduces a
+  byte-identical evaluation manifest (modulo wall-clock fields), seeded
+  kernels are self-consistent, and seed 0 is exactly the unseeded order.
+"""
+
+import glob
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.aiger import write_aag
+from repro.benchgen import modular_counter, token_ring
+from repro.cli import main
+from repro.core.options import IC3Options
+from repro.core.result import CheckResult
+from repro.engines.portfolio import PortfolioEngine, PortfolioOptions
+from repro.harness.configs import EngineConfig, apply_seed
+from repro.harness.manifest import build_manifest
+from repro.harness.runner import BenchmarkRunner
+from repro.sat.arena import ArenaSolver
+from repro.sat.solver import Solver
+
+
+def _shm_segments():
+    if not os.path.isdir("/dev/shm"):
+        return None
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+class TestSharingRace:
+    def test_sharing_race_same_verdict_with_accounting(self):
+        case = modular_counter(3, modulus=6, bad_value=7)
+        shared = PortfolioEngine(
+            case.aig,
+            engines=("ic3-pl", "ic3", "bmc", "kind"),
+            portfolio_options=PortfolioOptions(share=True),
+        ).check(time_limit=60)
+        solo = PortfolioEngine(
+            case.aig,
+            engines=("ic3-pl", "ic3", "bmc", "kind"),
+            portfolio_options=PortfolioOptions(share=False),
+        ).check(time_limit=60)
+
+        assert shared.result == solo.result == CheckResult.SAFE
+        assert solo.sharing is None
+        assert shared.sharing is not None
+        assert shared.sharing["transport"] in ("shm", "queue")
+        assert shared.sharing["bus_published"] >= 0
+        assert shared.winner in shared.sharing["members"]
+        winner_counters = shared.sharing["members"][shared.winner]
+        assert set(winner_counters) == {
+            "lemmas_published",
+            "lemmas_received",
+            "lemmas_validated",
+            "lemmas_rejected",
+            "lemmas_imported",
+            "bus_overflows",
+        }
+
+    def test_single_member_never_opens_a_bus(self):
+        outcome = PortfolioEngine(
+            token_ring(3).aig, engines=("ic3",),
+            portfolio_options=PortfolioOptions(share=True),
+        ).check(time_limit=60)
+        assert outcome.result == CheckResult.SAFE
+        assert outcome.sharing is None
+
+    def test_queue_transport_also_races(self):
+        outcome = PortfolioEngine(
+            token_ring(3).aig,
+            engines=("ic3", "bmc"),
+            portfolio_options=PortfolioOptions(share=True, transport="queue"),
+        ).check(time_limit=60)
+        assert outcome.result == CheckResult.SAFE
+        assert outcome.sharing is not None
+        assert outcome.sharing["transport"] == "queue"
+
+
+class TestTeardown:
+    def test_no_shm_or_process_leak_after_race(self):
+        before = _shm_segments()
+        children_before = {p.pid for p in multiprocessing.active_children()}
+        for _ in range(3):
+            outcome = PortfolioEngine(
+                modular_counter(3, modulus=6, bad_value=7).aig,
+                engines=("ic3-pl", "bmc", "kind"),
+                portfolio_options=PortfolioOptions(share=True),
+            ).check(time_limit=60)
+            assert outcome.solved
+        for proc in multiprocessing.active_children():
+            if proc.pid not in children_before:
+                proc.join(timeout=5)
+        children_after = {
+            p.pid for p in multiprocessing.active_children() if p.is_alive()
+        }
+        assert children_after <= children_before
+        after = _shm_segments()
+        if before is not None:
+            assert after - before == set()
+
+    def test_no_leak_when_losers_are_killed_midway(self):
+        # BMC wins UNSAFE quickly; the IC3 members are killed while still
+        # holding open bus ports.  The parent must still unlink cleanly.
+        before = _shm_segments()
+        case = modular_counter(4, modulus=14, bad_value=3)
+        outcome = PortfolioEngine(
+            case.aig,
+            engines=("ic3", "ic3-pl", "bmc"),
+            portfolio_options=PortfolioOptions(share=True),
+        ).check(time_limit=60)
+        assert outcome.result == CheckResult.UNSAFE
+        after = _shm_segments()
+        if before is not None:
+            assert after - before == set()
+
+
+SEED_CASES = [token_ring(3), modular_counter(3, modulus=6, bad_value=7)]
+
+
+def _seeded_manifest(seed):
+    configs = apply_seed(
+        [EngineConfig(name="ic3-seeded", options=IC3Options())], seed
+    )
+    suite_result = BenchmarkRunner(
+        SEED_CASES, configs, timeout=60.0, jobs=1, validate=True
+    ).run()
+    return build_manifest(
+        suite_result, suite="seeded", jobs=1, validate=True, configs=configs
+    )
+
+
+TIMING_FIELDS = {
+    "runtime",
+    "penalized_runtime",
+    "sat_time",
+    "time_total",
+    "time_generalization",
+    "time_prediction",
+    "time_propagation",
+    "time_import_validation",
+    "par1_time",
+    "phase_times",
+    "wall_clock",
+    "created_at",
+}
+
+
+def _normalize(node):
+    if isinstance(node, dict):
+        return {
+            key: (0 if key in TIMING_FIELDS else _normalize(value))
+            for key, value in node.items()
+        }
+    if isinstance(node, list):
+        return [_normalize(item) for item in node]
+    return node
+
+
+class TestSeedDeterminism:
+    def test_same_seed_byte_identical_manifest(self):
+        one = json.dumps(_normalize(_seeded_manifest(7)), sort_keys=True)
+        two = json.dumps(_normalize(_seeded_manifest(7)), sort_keys=True)
+        assert one == two
+        assert json.loads(one)["configs"]["ic3-seeded"]["seed"] == 7
+
+    def test_seed_zero_matches_unseeded(self):
+        zero = json.dumps(_normalize(_seeded_manifest(0)), sort_keys=True)
+        unseeded = json.dumps(_normalize(_seeded_manifest(None)), sort_keys=True)
+        assert zero == unseeded
+
+    @pytest.mark.parametrize("solver_cls", [Solver, ArenaSolver])
+    def test_seeded_kernel_is_reproducible(self, solver_cls):
+        def run(seed):
+            solver = solver_cls()
+            solver.set_seed(seed)
+            # A loose pigeonhole-ish instance with many solutions, so the
+            # model found depends on the branching order.
+            n = 12
+            for var in range(1, n + 1):
+                solver.ensure_var(var)
+            for a in range(1, n, 2):
+                solver.add_clause([a, a + 1])
+            for a in range(1, n - 2, 3):
+                solver.add_clause([-a, -(a + 2)])
+            assert solver.solve([])
+            model = solver.get_model()
+            return [model[v] for v in range(1, n + 1)]
+
+        assert run(5) == run(5)
+        assert run(1) == run(1)
+
+
+class TestCLISwitches:
+    @pytest.fixture()
+    def safe_model(self, tmp_path):
+        path = tmp_path / "safe.aag"
+        write_aag(token_ring(3).aig, path)
+        return str(path)
+
+    def test_check_seed_flag(self, safe_model, capsys):
+        assert main(["check", safe_model, "--seed", "3"]) == 0
+        assert "safe" in capsys.readouterr().out
+
+    def test_portfolio_share_flags(self, safe_model, capsys):
+        assert main(
+            ["check", safe_model, "--engine", "portfolio", "--portfolio-share"]
+        ) == 0
+        assert "safe" in capsys.readouterr().out
+        assert main(
+            ["check", safe_model, "--engine", "portfolio", "--no-portfolio-share"]
+        ) == 0
+        assert "safe" in capsys.readouterr().out
