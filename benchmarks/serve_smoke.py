@@ -8,8 +8,8 @@ full service contract with a plain ``urllib`` client:
 2. resubmit an isomorphic rebuild (binary round-trip: renumbered
    variables, fresh topological order) of every circuit and require a
    ``cache_hit: true`` answer carrying the identical verdict record;
-3. scrape ``GET /metrics`` and cross-check the counters against what the
-   client observed (submissions, hits/misses, zero rejections);
+3. scrape ``GET /metrics.json`` and cross-check the counters against
+   what the client observed (submissions, hits/misses, zero rejections);
 4. write a manifest-v6-shaped JSON transcript (``--output``), with the
    service counters in the ``service`` block, for the CI artifact.
 
@@ -196,8 +196,9 @@ def main() -> int:
         elif status == 200 and payload.get("cache_hit"):
             failures.append(f"{case.name}: unknown verdict must not be cached")
 
-    # Metrics must match what the client observed.
-    status, metrics = client.request("/metrics")
+    # Metrics must match what the client observed (the JSON snapshot —
+    # GET /metrics itself is the Prometheus text exposition).
+    status, metrics = client.request("/metrics.json")
     solved = sum(
         1 for record in verdicts.values() if record["result"] in ("safe", "unsafe")
     )

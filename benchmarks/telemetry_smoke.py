@@ -1,0 +1,276 @@
+"""Smoke test of the live telemetry layer over real HTTP (the CI gate).
+
+Boots the daemon in-process on an ephemeral port with heartbeats on,
+then checks the observability contract end to end:
+
+1. submit a deliberately slow job (a wide Johnson counter whose IC3 run
+   takes many seconds with a frame count that advances continuously) and
+   poll ``GET /jobs/{id}/progress`` while it runs: two polls must report
+   a *strictly increasing* IC3 frame count, an advancing heartbeat
+   sequence number, and a sampled worker RSS;
+2. scrape ``GET /metrics`` mid-job and validate the Prometheus text with
+   the in-repo strict parser (``repro.obs.metrics.parse_prometheus``) —
+   and again after the job, checking the expected families are exposed;
+3. confirm ``GET /metrics.json`` still serves the flat JSON contract;
+4. optionally (``--stall``) SIGSTOP the busy worker of a second slow job
+   and require the stall watchdog to count and replace it well before
+   the job's hard deadline;
+5. write the final exposition text (``--output``) as the CI artifact.
+
+Exit status is non-zero on any violated check.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/telemetry_smoke.py \
+        --stall --output telemetry_metrics.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from repro.aiger.writer import to_aag_string
+from repro.benchgen import johnson_counter
+from repro.obs.metrics import parse_prometheus
+from repro.serve.server import JobServer
+from repro.serve.service import VerificationService
+
+
+class Client:
+    def __init__(self, base: str):
+        self.base = base
+
+    def get_json(self, path, *, headers=None):
+        req = urllib.request.Request(self.base + path, headers=headers or {})
+        try:
+            with urllib.request.urlopen(req, timeout=60) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+    def get_text(self, path):
+        with urllib.request.urlopen(self.base + path, timeout=60) as response:
+            return response.status, response.read().decode("utf-8")
+
+    def post(self, path, document):
+        req = urllib.request.Request(
+            self.base + path,
+            data=json.dumps(document).encode(),
+            headers={"X-Tenant": "telemetry"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=60) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+    def poll_done(self, job_id: str, budget: float = 180.0):
+        deadline = time.monotonic() + budget
+        while time.monotonic() < deadline:
+            status, payload = self.get_json(f"/jobs/{job_id}")
+            if status != 200:
+                raise RuntimeError(f"poll failed with {status}: {payload}")
+            if payload["status"] in ("done", "failed"):
+                return payload
+            time.sleep(0.1)
+        raise RuntimeError(f"job {job_id} did not finish within {budget}s")
+
+
+def wait_for(predicate, budget, message):
+    deadline = time.monotonic() + budget
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.05)
+    raise RuntimeError(f"timed out waiting for {message}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--width", type=int, default=64, help="Johnson counter width (job duration)"
+    )
+    parser.add_argument("--timeout", type=float, default=120.0, help="per-job budget")
+    parser.add_argument(
+        "--stall",
+        action="store_true",
+        help="also SIGSTOP a busy worker and require the watchdog to fire",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="PATH", help="final exposition text path"
+    )
+    args = parser.parse_args()
+
+    slow_model = to_aag_string(johnson_counter(args.width, safe=True).aig)
+    service = VerificationService(
+        workers=1,
+        queue_depth=8,
+        default_timeout=args.timeout,
+        tenant_burst=1000.0,
+        heartbeat_interval=0.1,
+        stall_timeout=3.0,
+    )
+    server = JobServer(service, port=0)
+    loop = asyncio.new_event_loop()
+
+    def run_loop():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        loop.run_forever()
+
+    thread = threading.Thread(target=run_loop, daemon=True)
+    thread.start()
+    wait_for(lambda: server._server is not None, 10, "server start")
+    client = Client(server.address)
+    print(f"telemetry smoke: daemon at {server.address}")
+
+    failures = []
+
+    # 1. Slow job + strictly increasing frame count over two polls.
+    status, payload = client.post(
+        "/jobs", {"model": slow_model, "timeout": args.timeout}
+    )
+    if status != 202:
+        print(f"FAIL: submission answered {status}: {payload}", file=sys.stderr)
+        return 1
+    job_id = payload["id"]
+
+    def frame_poll():
+        status, progress = client.get_json(f"/jobs/{job_id}/progress")
+        if status != 200:
+            return None
+        heartbeat = progress.get("heartbeat") or {}
+        if "frame" in heartbeat:
+            return progress
+        return None
+
+    first = wait_for(frame_poll, 60, "first frame heartbeat")
+
+    def advanced_poll():
+        progress = frame_poll()
+        if progress and progress["heartbeat"]["frame"] > first["heartbeat"]["frame"]:
+            return progress
+        return None
+
+    second = wait_for(advanced_poll, 60, "frame advance")
+    hb1, hb2 = first["heartbeat"], second["heartbeat"]
+    print(
+        f"  progress: frame {hb1['frame']} -> {hb2['frame']}, "
+        f"seq {hb1['seq']} -> {hb2['seq']}, rss={hb2.get('rss_kb')}kB "
+        f"(age {hb2['age_seconds']}s)"
+    )
+    if not hb2["frame"] > hb1["frame"]:
+        failures.append(f"frame count did not advance: {hb1['frame']} -> {hb2['frame']}")
+    if not hb2["seq"] > hb1["seq"]:
+        failures.append(f"heartbeat seq did not advance: {hb1['seq']} -> {hb2['seq']}")
+    if first.get("worker", {}).get("pid", 0) <= 0:
+        failures.append("progress did not name the worker pid")
+
+    # 2. Prometheus exposition scraped mid-job must parse strictly.
+    status, text = client.get_text("/metrics")
+    try:
+        families = parse_prometheus(text)
+        print(f"  mid-job exposition: {len(families)} families, parsed clean")
+    except ValueError as error:
+        failures.append(f"mid-job exposition rejected by parser: {error}")
+        families = {}
+    for family in ("repro_serve_jobs_submitted_total", "repro_serve_busy_workers"):
+        if family not in families:
+            failures.append(f"mid-job exposition is missing {family}")
+
+    done = client.poll_done(job_id, budget=args.timeout + 60)
+    if done["status"] != "done" or done["result"]["result"] != "safe":
+        failures.append(f"slow job ended {done['status']}: {done['result']['result']}")
+
+    # 3. The JSON snapshot contract.
+    status, metrics = client.get_json("/metrics.json")
+    if status != 200 or metrics.get("jobs_submitted", 0) < 1:
+        failures.append(f"/metrics.json contract broken: {status} {metrics}")
+    status, negotiated = client.get_json(
+        "/metrics", headers={"Accept": "application/json"}
+    )
+    if status != 200 or "jobs_submitted" not in negotiated:
+        failures.append("content negotiation on /metrics broke the JSON form")
+
+    # 4. Optional stall phase: freeze the worker, watchdog must fire
+    #    long before the hard deadline.
+    if args.stall:
+        # A different width, so the structural-digest cache (already warm
+        # with the first slow model's verdict) cannot answer this one.
+        stall_model = to_aag_string(johnson_counter(args.width + 2, safe=True).aig)
+        status, payload = client.post(
+            "/jobs", {"model": stall_model, "timeout": args.timeout}
+        )
+        if status != 202:
+            failures.append(f"stall-phase submission answered {status}")
+        else:
+            stall_job = payload["id"]
+
+            def stall_progress():
+                status, progress = client.get_json(f"/jobs/{stall_job}/progress")
+                if status == 200 and "worker" in progress:
+                    return progress
+                return None
+
+            progress = wait_for(stall_progress, 60, "stall job to start")
+            pid = progress["worker"]["pid"]
+            started = time.monotonic()
+            os.kill(pid, signal.SIGSTOP)
+            done = client.poll_done(stall_job, budget=60.0)
+            elapsed = time.monotonic() - started
+            _, metrics = client.get_json("/metrics.json")
+            print(
+                f"  stall: worker {pid} frozen, detected in {elapsed:.1f}s, "
+                f"worker_stalls={metrics.get('worker_stalls')}"
+            )
+            if metrics.get("worker_stalls", 0) < 1:
+                failures.append("SIGSTOP did not increment worker_stalls")
+            if elapsed > args.timeout / 2:
+                failures.append(
+                    f"stall detection took {elapsed:.1f}s — not before the deadline"
+                )
+            if done["status"] != "failed" or "stalled" not in str(
+                done["result"].get("error")
+            ):
+                failures.append(f"stalled job ended {done['status']}: {done['result']}")
+
+    # 5. Final exposition artifact.
+    status, text = client.get_text("/metrics")
+    try:
+        families = parse_prometheus(text)
+    except ValueError as error:
+        failures.append(f"final exposition rejected by parser: {error}")
+        families = {}
+    if "repro_engine_runs_total" not in families:
+        failures.append("final exposition is missing repro_engine_runs_total")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"  exposition written to {args.output} ({len(families)} families)")
+
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(timeout=10)
+    service.stop()
+
+    if failures:
+        print(f"\nFAIL ({len(failures)}):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nOK: progress advanced, expositions parsed, contracts held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,7 +32,7 @@ import argparse
 import logging
 import sys
 import time
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
 from typing import List, Optional
 
 from repro.aiger.parser import read_aiger
@@ -169,6 +169,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_reduction_arguments(check)
     check.add_argument("--verbose", action="store_true", help="per-frame progress")
     check.add_argument(
+        "--live",
+        action="store_true",
+        help="paint a self-erasing live status line (IC3 frame, lemma and "
+        "obligation totals, …) while the engine runs; automatically "
+        "suppressed when stdout is not a terminal",
+    )
+    check.add_argument(
         "--trace-out",
         metavar="PATH",
         default=None,
@@ -250,6 +257,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     evaluate.add_argument("--verbose", action="store_true", help="per-case progress")
     evaluate.add_argument(
+        "--live",
+        action="store_true",
+        help="paint a live status line aggregating the worker processes' "
+        "heartbeats; suppressed when stdout is not a terminal",
+    )
+    evaluate.add_argument(
         "--trace-out",
         metavar="PATH",
         default=None,
@@ -329,6 +342,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="record one JSONL trace per job into DIR and expose it at "
         "GET /jobs/{id}/trace",
     )
+    serve.add_argument(
+        "--stall-timeout",
+        type=float,
+        default=10.0,
+        help="replace a busy worker whose heartbeat has been silent this "
+        "long, before its hard deadline (default: 10)",
+    )
+    serve.add_argument(
+        "--no-heartbeats",
+        action="store_true",
+        help="disable worker heartbeats (and with them /jobs/{id}/progress "
+        "and the stall watchdog)",
+    )
 
     submit = sub.add_parser(
         "submit", help="submit an AIGER file to a running serve daemon"
@@ -367,6 +393,25 @@ def build_parser() -> argparse.ArgumentParser:
         "the verdict: 0 safe, 1 unsafe, 2 unknown/failed",
     )
 
+    metrics = sub.add_parser(
+        "metrics",
+        help="one-shot metrics dump: this process's registry, or a running "
+        "serve daemon when --url is given",
+    )
+    metrics.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="scrape GET /metrics of a running serve daemon instead of "
+        "rendering the in-process registry",
+    )
+    metrics.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the JSON snapshot (GET /metrics.json against a daemon) "
+        "instead of Prometheus text",
+    )
+
     sub.add_parser(
         "version",
         help="print version and registry diagnostics (engines, backends, passes)",
@@ -401,6 +446,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_submit(args)
     if args.command == "trace-report":
         return _command_trace_report(args)
+    if args.command == "metrics":
+        return _command_metrics(args)
     if args.command == "version":
         return _command_version(args)
     return 2  # pragma: no cover - argparse enforces the choices
@@ -413,6 +460,63 @@ def _maybe_trace(path: Optional[str], label: str):
     from repro.obs.tracer import trace_session
 
     return trace_session(path, label=label)
+
+
+@contextmanager
+def _live_check_session(active: bool):
+    """``check --live``: an in-process heartbeat feeding a status line.
+
+    The engine runs in this process, so no publisher file is needed —
+    the status line reads the heartbeat object directly.  LiveStatus
+    suppresses itself when stdout is not a terminal.
+    """
+    if not active:
+        yield
+        return
+    from repro.obs.heartbeat import (
+        Heartbeat,
+        LiveStatus,
+        format_progress,
+        install_heartbeat,
+        uninstall_heartbeat,
+    )
+
+    heartbeat = install_heartbeat(Heartbeat(role="check"))
+    try:
+        with LiveStatus(lambda: format_progress(heartbeat.snapshot())):
+            yield
+    finally:
+        uninstall_heartbeat()
+        heartbeat.close()
+
+
+@contextmanager
+def _live_evaluate_session(active: bool):
+    """``evaluate --live``: aggregate the worker heartbeats on one line.
+
+    Opens a heartbeat session (the harness pool workers pick the
+    directory up from the environment and publish into it) and paints
+    the freshest worker's progress, prefixed with the live worker count.
+    """
+    if not active:
+        yield
+        return
+    from repro.obs.heartbeat import LiveStatus, format_progress, heartbeat_session
+
+    with heartbeat_session() as monitor:
+
+        def _line() -> Optional[str]:
+            records = [r for r in monitor.read_all() if monitor.age(r) < 5.0]
+            if not records:
+                return None
+            records.sort(key=lambda r: r.get("time_mono", 0.0), reverse=True)
+            head = format_progress(records[0])
+            if len(records) > 1:
+                return f"[{len(records)} workers] {head}"
+            return head
+
+        with LiveStatus(_line):
+            yield
 
 
 def _configure_verbose_logging(args: argparse.Namespace) -> None:
@@ -509,7 +613,8 @@ def _engine_kwargs(args: argparse.Namespace) -> dict:
 def _command_check(args: argparse.Namespace) -> int:
     _configure_verbose_logging(args)
     with _maybe_trace(args.trace_out, "check"):
-        exit_code = _check_body(args)
+        with _live_check_session(args.live):
+            exit_code = _check_body(args)
     if args.trace_out:
         print(f"Trace written to {args.trace_out}")
     return exit_code
@@ -609,7 +714,8 @@ def _command_reduce(args: argparse.Namespace) -> int:
 def _command_evaluate(args: argparse.Namespace) -> int:
     _configure_verbose_logging(args)
     with _maybe_trace(args.trace_out, "evaluate"):
-        exit_code = _evaluate_body(args)
+        with _live_evaluate_session(args.live):
+            exit_code = _evaluate_body(args)
     if args.trace_out:
         print(f"Trace written to {args.trace_out}")
     return exit_code
@@ -644,6 +750,11 @@ def _evaluate_body(args: argparse.Namespace) -> int:
             ),
             args.seed,
         )
+        telemetry = None
+        if args.live:
+            from repro.obs.metrics import get_registry, snapshot_totals
+
+            telemetry = snapshot_totals(get_registry().snapshot())
         manifest = build_manifest(
             report.suite_result,
             suite=suite_name,
@@ -652,6 +763,7 @@ def _evaluate_body(args: argparse.Namespace) -> int:
             reduce=not args.no_reduce,
             configs=configs,
             wall_clock=wall_clock,
+            telemetry=telemetry,
         )
         write_manifest(args.output, manifest)
         print(f"\nRun manifest written to {args.output}")
@@ -743,6 +855,35 @@ def _evaluate_liveness(args: argparse.Namespace, cases, suite_name: str) -> int:
     return exit_code
 
 
+def _command_metrics(args: argparse.Namespace) -> int:
+    """One-shot metrics dump: the process registry, or a scraped daemon."""
+    import json
+
+    if args.url:
+        import urllib.error
+        import urllib.request
+
+        base = args.url.rstrip("/")
+        path = "/metrics.json" if args.json else "/metrics"
+        try:
+            with urllib.request.urlopen(base + path, timeout=30) as response:
+                body = response.read().decode("utf-8")
+        except (urllib.error.URLError, OSError) as error:
+            print(f"error: cannot scrape {base + path}: {error}")
+            return 2
+        sys.stdout.write(body if body.endswith("\n") else body + "\n")
+        return 0
+
+    from repro.obs.metrics import get_registry, render_prometheus
+
+    snapshot = get_registry().snapshot()
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(render_prometheus(snapshot))
+    return 0
+
+
 def _command_trace_report(args: argparse.Namespace) -> int:
     """Print the per-phase hotspot table of a recorded trace."""
     from repro.obs import format_report, read_trace, validate_trace_file
@@ -790,6 +931,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         tenant_rate=args.tenant_rate,
         tenant_burst=args.tenant_burst,
         trace_dir=args.trace_dir,
+        heartbeats=not args.no_heartbeats,
+        stall_timeout=args.stall_timeout,
     )
     run_server(service, host=args.host, port=args.port)
     return 0

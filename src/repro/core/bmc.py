@@ -21,6 +21,7 @@ from repro.core.result import (
 )
 from repro.core.share import UnrollingInvariantImporter
 from repro.core.stats import IC3Stats
+from repro.obs.heartbeat import get_heartbeat
 from repro.obs.tracer import get_tracer
 from repro.ts.unroll import Unroller
 
@@ -69,6 +70,9 @@ class BMC:
         for depth in range(max_depth + 1):
             if deadline is not None and time.perf_counter() > deadline:
                 return self._outcome(CheckResult.UNKNOWN, start, reason="time limit reached")
+            hb = get_heartbeat()
+            if hb.enabled:
+                hb.update(engine="bmc", bound=depth, sat_calls=self.stats.sat_calls)
             if self.importer is not None:
                 self.importer.drain()
                 self.importer.flush()

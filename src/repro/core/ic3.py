@@ -41,6 +41,7 @@ from repro.core.result import (
 )
 from repro.core.stats import IC3Stats
 from repro.logic.cube import Clause, Cube
+from repro.obs.heartbeat import get_heartbeat
 from repro.obs.tracer import get_tracer
 from repro.ts.system import TransitionSystem
 
@@ -152,6 +153,7 @@ class IC3:
             self._check_limits()
             top = self.frames.top_level
             tracer = get_tracer()
+            self._publish_heartbeat(top)
 
             # Blocking phase: make F_top ⇒ P.
             while True:
@@ -247,6 +249,12 @@ class IC3:
                 raise _BudgetSignal("obligation limit reached")
             if self.stats.obligations_processed % _DRAIN_OBLIGATION_INTERVAL == 0:
                 self._drain_shared()
+                hb = get_heartbeat()
+                if hb.enabled:
+                    hb.update(
+                        obligations=self.stats.obligations_processed,
+                        sat_calls=self.stats.sat_calls,
+                    )
             get_tracer().sample(
                 "ic3.obligations",
                 self.stats.obligations_processed,
@@ -486,6 +494,24 @@ class IC3:
         """Import pending bus lemmas at a safe check-in point."""
         if self.exchange is not None:
             self.exchange.drain()
+
+    def _publish_heartbeat(self, top: int) -> None:
+        """Refresh live progress once per outer-loop round (cheap: a few
+        dict writes behind one ``enabled`` check)."""
+        hb = get_heartbeat()
+        if not hb.enabled:
+            return
+        fields = {
+            "engine": self._engine_name(),
+            "frame": top,
+            "lemmas": sum(self.frames.lemma_counts()),
+            "obligations": self.stats.obligations_processed,
+            "sat_calls": self.stats.sat_calls,
+        }
+        if self.exchange is not None:
+            fields["published"] = self.stats.lemmas_published
+            fields["imported"] = self.stats.lemmas_imported
+        hb.update(**fields)
 
     def _check_limits(self) -> None:
         if self._deadline is not None and time.perf_counter() > self._deadline:

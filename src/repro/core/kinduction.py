@@ -24,6 +24,7 @@ from repro.aiger.aig import AIG
 from repro.core.result import CheckOutcome, CheckResult, Certificate
 from repro.core.share import UnrollingInvariantImporter
 from repro.core.stats import IC3Stats
+from repro.obs.heartbeat import get_heartbeat
 from repro.obs.tracer import get_tracer
 from repro.ts.unroll import Unroller
 
@@ -67,6 +68,9 @@ class KInduction:
         for k in range(1, max_k + 1):
             if deadline is not None and time.perf_counter() > deadline:
                 return self._outcome(CheckResult.UNKNOWN, start, "time limit reached")
+            hb = get_heartbeat()
+            if hb.enabled:
+                hb.update(engine="k-induction", k=k, sat_calls=self.stats.sat_calls)
             if self.importer is not None:
                 self.importer.drain()
                 self.importer.flush()

@@ -28,6 +28,7 @@ from repro.core.kinduction import KInduction
 from repro.core.options import IC3Options
 from repro.core.result import CheckOutcome
 from repro.engines.registry import register_engine
+from repro.obs.metrics import record_engine_outcome
 from repro.obs.tracer import get_tracer
 from repro.reduce import ReductionResult, reduce_aig
 
@@ -60,13 +61,20 @@ def finish_outcome(
 
 
 def traced_check(name, run, time_limit):
-    """Run an engine's check under an ``engine.<name>`` span."""
+    """Run an engine's check under an ``engine.<name>`` span.
+
+    Also the single feed point into the metrics registry: every finished
+    check folds its verdict, runtime and solver counters into the
+    process-default registry exactly once (end-of-run, never hot-path).
+    """
     tracer = get_tracer()
     if not tracer.enabled:
-        return run(time_limit)
-    with tracer.span("engine." + name, cat="engine") as span:
         outcome = run(time_limit)
-        span.add(result=outcome.result.value, frames=outcome.frames)
+    else:
+        with tracer.span("engine." + name, cat="engine") as span:
+            outcome = run(time_limit)
+            span.add(result=outcome.result.value, frames=outcome.frames)
+    record_engine_outcome(outcome)
     return outcome
 
 

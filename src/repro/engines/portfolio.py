@@ -48,6 +48,12 @@ from repro.engines.lembus import (
     open_port,
 )
 from repro.engines.registry import canonical_name, create_engine, register_engine
+from repro.obs.heartbeat import (
+    get_heartbeat,
+    maybe_install_worker_heartbeat,
+    shutdown_worker_heartbeat,
+)
+from repro.obs.metrics import PORTFOLIO_WINS, record_engine_outcome
 from repro.obs.tracer import (
     get_tracer,
     maybe_install_worker_tracer,
@@ -126,6 +132,7 @@ def _run_member(
 ):
     """Subprocess body: build one member engine, run it, ship the outcome back."""
     maybe_install_worker_tracer(f"portfolio-{label}")
+    maybe_install_worker_heartbeat(f"portfolio-{label}")
     port = None
     try:
         if lemma_handle is not None:
@@ -156,6 +163,7 @@ def _run_member(
     finally:
         if port is not None:
             port.close()
+        shutdown_worker_heartbeat()
         shutdown_worker_tracer()
         conn.close()
 
@@ -247,12 +255,16 @@ class PortfolioEngine:
         """Race the members; return the first definite verdict."""
         tracer = get_tracer()
         if not tracer.enabled:
-            return self._check_inner(time_limit)
-        with tracer.span(
-            "portfolio.race", cat="engine", members=list(self.engines)
-        ) as span:
             outcome = self._check_inner(time_limit)
-            span.add(winner=outcome.winner, result=outcome.result.value)
+        else:
+            with tracer.span(
+                "portfolio.race", cat="engine", members=list(self.engines)
+            ) as span:
+                outcome = self._check_inner(time_limit)
+                span.add(winner=outcome.winner, result=outcome.result.value)
+        record_engine_outcome(outcome)
+        if outcome.winner:
+            PORTFOLIO_WINS.inc(member=outcome.winner)
         return outcome
 
     def _check_inner(self, time_limit: Optional[float] = None) -> CheckOutcome:
@@ -268,6 +280,14 @@ class PortfolioEngine:
         unknown: List[Tuple[str, CheckOutcome]] = []
         errors: List[Tuple[str, str]] = []
         reports: Dict[str, IC3Stats] = {}
+        hb = get_heartbeat()
+        member_states: Dict[str, str] = (
+            {plan.label: "pending" for plan in self._plan} if hb.enabled else {}
+        )
+
+        def _publish_members() -> None:
+            if hb.enabled:
+                hb.update(engine=self.name, members=dict(member_states))
 
         pf = self.portfolio_options
         bus = None
@@ -317,6 +337,9 @@ class PortfolioEngine:
                     proc.start()
                     child_conn.close()
                     running[parent_conn] = (plan, proc)
+                    if hb.enabled:
+                        member_states[plan.label] = "running"
+                        _publish_members()
 
                 ready = multiprocessing.connection.wait(
                     list(running), timeout=_POLL_INTERVAL
@@ -325,6 +348,14 @@ class PortfolioEngine:
                     plan, proc = running.pop(conn)
                     kind, payload = self._receive(conn)
                     proc.join(timeout=1.0)
+                    if hb.enabled:
+                        if kind != "ok":
+                            member_states[plan.label] = "error"
+                        elif payload.solved:
+                            member_states[plan.label] = "winner"
+                        else:
+                            member_states[plan.label] = "unknown"
+                        _publish_members()
                     if kind == "ok":
                         reports[plan.label] = payload.stats
                     if kind == "ok" and payload.solved:

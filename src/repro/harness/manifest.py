@@ -104,6 +104,18 @@ Schema v8 (``repro-check/manifest/v8``) additions over v7:
   bus accounting (transport, total records published, per-member
   exchange counters of every member that reported back); None when the
   run did not share lemmas.
+
+Schema v9 (``repro-check/manifest/v9``) additions over v8:
+
+* optional top-level ``telemetry`` — when the run was executed with the
+  live telemetry layer active (``repro-check evaluate --live`` or any
+  producer that opts in), the condensed per-family totals of the
+  process-wide metrics registry at manifest build time
+  (:func:`repro.obs.metrics.snapshot_totals`: counter totals such as
+  ``repro_engine_runs_total`` / ``repro_sat_calls_total`` /
+  ``repro_harness_tasks_total`` / ``repro_stalls_total``, and
+  ``sum``/``count`` pairs for the latency histograms).  ``None`` —
+  and therefore byte-identical output for identical runs — otherwise.
 """
 
 from __future__ import annotations
@@ -115,7 +127,7 @@ from typing import Dict, Optional, Sequence
 from repro.harness.configs import EngineConfig
 from repro.harness.runner import CaseResult, SuiteResult
 
-MANIFEST_SCHEMA = "repro-check/manifest/v8"
+MANIFEST_SCHEMA = "repro-check/manifest/v9"
 
 
 def _phase_times(results: Sequence[CaseResult]) -> Dict[str, float]:
@@ -179,6 +191,7 @@ def build_manifest(
     configs: Optional[Sequence[EngineConfig]] = None,
     wall_clock: Optional[float] = None,
     service: Optional[Dict[str, object]] = None,
+    telemetry: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """Assemble the JSON-serializable manifest of one harness run."""
     config_meta = {
@@ -252,6 +265,7 @@ def build_manifest(
         "results": results,
         "wall_clock": round(wall_clock, 6) if wall_clock is not None else None,
         "service": service,
+        "telemetry": telemetry,
     }
 
 

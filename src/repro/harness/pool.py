@@ -25,6 +25,13 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.obs.heartbeat import (
+    HEARTBEAT_DIR_ENV,
+    HeartbeatMonitor,
+    maybe_install_worker_heartbeat,
+    shutdown_worker_heartbeat,
+)
+from repro.obs.metrics import HARNESS_TASKS, STALLS
 from repro.obs.tracer import (
     get_tracer,
     maybe_install_worker_tracer,
@@ -32,6 +39,7 @@ from repro.obs.tracer import (
 )
 
 _POLL_INTERVAL = 0.05
+_STALL_CHECK_INTERVAL = 0.5
 
 
 @dataclass
@@ -74,6 +82,7 @@ def _worker_shim(conn, worker, payload):
     except OSError:  # pragma: no cover - already a group leader
         pass
     maybe_install_worker_tracer("harness")
+    maybe_install_worker_heartbeat("harness")
     try:
         tracer = get_tracer()
         if tracer.enabled:
@@ -88,6 +97,7 @@ def _worker_shim(conn, worker, payload):
         except (BrokenPipeError, OSError):
             pass
     finally:
+        shutdown_worker_heartbeat()
         shutdown_worker_tracer()
         conn.close()
 
@@ -131,8 +141,45 @@ def map_with_hard_timeout(
     pending = list(enumerate(payloads))
     running: Dict[object, tuple] = {}  # conn -> (index, proc, start, kill_at)
 
+    # When a heartbeat session is active the parent also *watches* the
+    # records: a worker whose publisher goes silent well before its hard
+    # deadline is counted as a stall (the deadline still does the
+    # killing — the harness has one, unlike a hung interactive run).
+    heartbeat_dir = os.environ.get(HEARTBEAT_DIR_ENV)
+    monitor = HeartbeatMonitor(heartbeat_dir) if heartbeat_dir else None
+    stall_limit = max(1.0, 0.5 * timeout)
+    stalled: set = set()
+    next_stall_check = time.perf_counter() + _STALL_CHECK_INTERVAL
+
+    def _check_stalls() -> None:
+        nonlocal next_stall_check
+        now = time.perf_counter()
+        if monitor is None or now < next_stall_check:
+            return
+        next_stall_check = now + _STALL_CHECK_INTERVAL
+        for index, proc, start, _kill_at in running.values():
+            if index in stalled or now - start <= stall_limit:
+                continue
+            record = monitor.latest_for(proc.pid)
+            age = monitor.age(record) if record is not None else now - start
+            if age <= stall_limit:
+                continue
+            stalled.add(index)
+            STALLS.inc(pool="harness")
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.instant(
+                    "harness.stall", cat="harness", task=index, age=round(age, 2)
+                )
+
     def _record(index: int, result: PoolResult) -> None:
         results[index] = result
+        if result.timed_out:
+            HARNESS_TASKS.inc(status="timeout")
+        elif result.error is not None:
+            HARNESS_TASKS.inc(status="error")
+        else:
+            HARNESS_TASKS.inc(status="ok")
         if on_result is not None:
             on_result(index, result)
 
@@ -173,6 +220,7 @@ def map_with_hard_timeout(
                         index, PoolResult(elapsed=elapsed, error=str(payload))
                     )
 
+            _check_stalls()
             now = time.perf_counter()
             overdue = [conn for conn, task in running.items() if now > task[3]]
             for conn in overdue:

@@ -22,6 +22,7 @@ from repro.core.stats import IC3Stats
 from repro.engines.registry import create_engine
 from repro.harness.configs import EngineConfig
 from repro.harness.pool import PoolResult, map_with_hard_timeout
+from repro.obs.heartbeat import get_heartbeat
 from repro.obs.tracer import get_tracer
 
 
@@ -189,6 +190,9 @@ def _execute_case(spec: _TaskSpec) -> CaseResult:
     engine_kwargs = dict(spec.config.engine_kwargs)
     engine_kwargs.setdefault("reduce", spec.reduce)
     tracer = get_tracer()
+    hb = get_heartbeat()
+    if hb.enabled:
+        hb.reset(case=spec.case.name, config=spec.config.name)
     start = time.perf_counter()
     if tracer.enabled:
         with tracer.span(

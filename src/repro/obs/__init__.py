@@ -1,13 +1,24 @@
-"""Full-stack tracing and profiling (``repro.obs``).
+"""Full-stack observability (``repro.obs``).
 
-The observability layer of the checker: a process/thread-aware
-:class:`~repro.obs.tracer.Tracer` with span and instant-event APIs that
-compile to no-ops when disabled, JSONL sinks and a bounded
-flight-recorder ring for post-mortems of hard-killed workers, Chrome
-trace-event (Perfetto-loadable) export with cross-process stitching, and
-hotspot reports.  Surfaces: ``repro-check check/evaluate --trace-out``,
-``repro-check trace-report``, and ``GET /jobs/{id}/trace`` on the serve
-daemon.
+Three layers:
+
+* **Tracing** (:mod:`repro.obs.tracer`) — process/thread-aware spans and
+  instants that compile to no-ops when disabled, JSONL sinks and a
+  bounded flight-recorder ring for post-mortems of hard-killed workers,
+  Chrome trace-event export with cross-process stitching, hotspot
+  reports.  Surfaces: ``--trace-out``, ``repro-check trace-report``,
+  ``GET /jobs/{id}/trace``.
+* **Metrics** (:mod:`repro.obs.metrics`) — a unified registry of
+  counters, gauges and log-bucketed histograms with label families,
+  per-thread accumulation, cross-process snapshot/merge, Prometheus
+  text exposition and an in-repo exposition parser.  Surfaces:
+  ``GET /metrics`` (Prometheus) / ``GET /metrics.json`` (JSON) and
+  ``repro-check metrics``.
+* **Heartbeats** (:mod:`repro.obs.heartbeat`) — live structured
+  progress (IC3 frame, BMC bound, k-induction k, portfolio member
+  states, RSS/CPU from ``/proc``) published by worker processes and
+  read by the parent.  Surfaces: ``GET /jobs/{id}/progress``, the
+  ``--live`` status line, and the serve stall watchdog.
 """
 
 from repro.obs.export import (
@@ -19,6 +30,31 @@ from repro.obs.export import (
     validate_chrome_trace,
     validate_trace_file,
     write_chrome_trace,
+)
+from repro.obs.heartbeat import (
+    HEARTBEAT_DIR_ENV,
+    NULL_HEARTBEAT,
+    Heartbeat,
+    HeartbeatMonitor,
+    LiveStatus,
+    NullHeartbeat,
+    format_progress,
+    get_heartbeat,
+    heartbeat_session,
+    install_heartbeat,
+    maybe_install_worker_heartbeat,
+    shutdown_worker_heartbeat,
+    uninstall_heartbeat,
+)
+from repro.obs.metrics import (
+    REGISTRY,
+    MetricsRegistry,
+    get_registry,
+    merge_snapshots,
+    parse_prometheus,
+    record_engine_outcome,
+    render_prometheus,
+    snapshot_totals,
 )
 from repro.obs.report import format_report, hotspots, phase_totals
 from repro.obs.tracer import (
@@ -36,25 +72,46 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "HEARTBEAT_DIR_ENV",
+    "NULL_HEARTBEAT",
     "NULL_TRACER",
+    "REGISTRY",
     "TRACE_DIR_ENV",
+    "Heartbeat",
+    "HeartbeatMonitor",
     "JsonlSink",
+    "LiveStatus",
+    "MetricsRegistry",
+    "NullHeartbeat",
     "NullTracer",
     "Tracer",
     "collect_worker_events",
+    "format_progress",
     "format_report",
+    "get_heartbeat",
+    "get_registry",
     "get_tracer",
+    "heartbeat_session",
     "hotspots",
     "install",
+    "install_heartbeat",
+    "maybe_install_worker_heartbeat",
     "maybe_install_worker_tracer",
+    "merge_snapshots",
+    "parse_prometheus",
     "phase_totals",
     "read_jsonl_events",
     "read_trace",
+    "record_engine_outcome",
+    "render_prometheus",
+    "snapshot_totals",
+    "shutdown_worker_heartbeat",
     "shutdown_worker_tracer",
     "stitch",
     "to_chrome_document",
     "trace_session",
     "uninstall",
+    "uninstall_heartbeat",
     "validate_chrome_trace",
     "validate_trace_file",
     "write_chrome_trace",

@@ -1,17 +1,33 @@
-"""Service metrics: monotonic counters plus computed gauges.
+"""Service metrics — a thin compatibility shim over :mod:`repro.obs.metrics`.
 
-Every counter is declared up front so ``GET /metrics`` always exposes the
+Historically this module kept its own lock-and-dict counter registry;
+the daemon now has exactly one counter system, the unified
+:class:`~repro.obs.metrics.MetricsRegistry`, and this class is only the
+stable daemon-facing façade on top of it:
+
+* the :data:`COUNTERS` names and the ``incr``/``get``/``snapshot`` API
+  are unchanged, and :meth:`snapshot` still returns the flat
+  ``{counter: value, uptime_seconds, started_at}`` document that
+  ``GET /metrics.json`` and the CI serve smoke gate consume;
+* each counter is backed by a ``repro_serve_<name>_total`` family in a
+  *private* registry instance (services running side by side in one
+  test process must not share counters), which is what renders as
+  Prometheus text on ``GET /metrics``;
+* the latency histograms — queue wait, and solve time per verdict —
+  live in the same registry, and :meth:`mean_solve_latency` feeds the
+  service's ``Retry-After`` drain-rate estimate.
+
+Every counter is declared up front so both expositions always expose the
 full set (zeros included) — scrapers never have to guess whether a
-missing counter means "zero" or "renamed".  Counters are monotonic over
-the life of the process; gauges (queue depth, busy workers, tenant
-tokens) are sampled at scrape time by the service.
+missing counter means "zero" or "renamed".
 """
 
 from __future__ import annotations
 
-import threading
 import time
-from typing import Dict
+from typing import Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
 
 COUNTERS = (
     "jobs_submitted",
@@ -24,35 +40,104 @@ COUNTERS = (
     "worker_recycles",
     "worker_crashes",
     "worker_timeouts",
+    "worker_stalls",
     "reduction_reuses",
 )
 
+_HELP = {
+    "jobs_submitted": "Jobs admitted past the tenant budget check.",
+    "jobs_completed": "Jobs finished with a verdict (including hard timeouts).",
+    "jobs_failed": "Jobs finished with an error.",
+    "cache_hits": "Submissions served from the structural-digest cache.",
+    "cache_misses": "Submissions that had to be queued.",
+    "queue_rejections": "Submissions rejected because the queue was full.",
+    "budget_rejections": "Submissions rejected by a tenant token bucket.",
+    "worker_recycles": "Warm workers replaced (any reason).",
+    "worker_crashes": "Workers that died without reporting a result.",
+    "worker_timeouts": "Workers killed at their hard deadline.",
+    "worker_stalls": "Workers killed by the heartbeat stall watchdog.",
+    "reduction_reuses": "Jobs served from a worker's warm reduction memo.",
+}
+
 
 class Metrics:
-    """Thread-safe counter registry with a JSON-ready snapshot."""
+    """The daemon's counter/histogram façade over one private registry."""
 
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._counters: Dict[str, int] = {name: 0 for name in COUNTERS}
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(f"repro_serve_{name}_total", _HELP.get(name, ""))
+            for name in COUNTERS
+        }
+        self._queue_latency = self.registry.histogram(
+            "repro_serve_queue_latency_seconds",
+            "Seconds a job waited in the queue before a worker picked it up.",
+        )
+        self._solve_latency = self.registry.histogram(
+            "repro_serve_solve_latency_seconds",
+            "Worker-side solve time of finished jobs, by verdict.",
+            labels=("verdict",),
+        )
         # Monotonic for the uptime arithmetic (immune to wall-clock
         # steps); the wall timestamp is kept for display only.
         self._started_monotonic = time.monotonic()
         self._started_wall = time.time()
 
+    # -- counters (legacy API, unchanged) ------------------------------
     def incr(self, name: str, amount: int = 1) -> None:
-        with self._lock:
-            if name not in self._counters:
-                raise KeyError(f"undeclared metric {name!r}")
-            self._counters[name] += amount
+        counter = self._counters.get(name)
+        if counter is None:
+            raise KeyError(f"undeclared metric {name!r}")
+        counter.inc(amount)
 
     def get(self, name: str) -> int:
-        with self._lock:
-            return self._counters[name]
+        counter = self._counters.get(name)
+        if counter is None:
+            raise KeyError(f"undeclared metric {name!r}")
+        return int(counter.value())
 
+    # -- histograms ----------------------------------------------------
+    def observe_queue_latency(self, seconds: float) -> None:
+        self._queue_latency.observe(max(0.0, seconds))
+
+    def observe_solve_latency(self, verdict: str, seconds: float) -> None:
+        self._solve_latency.observe(max(0.0, seconds), verdict=str(verdict))
+
+    def mean_solve_latency(self) -> Optional[float]:
+        """Observed mean solve seconds across all verdicts (None before
+        the first finished job) — the drain-rate input to Retry-After."""
+        total = 0.0
+        count = 0
+        for state in self._solve_latency.collect().values():
+            total += state[1]
+            count += state[2]
+        if count == 0:
+            return None
+        return total / count
+
+    # -- snapshots -----------------------------------------------------
     def snapshot(self) -> Dict[str, object]:
-        """All counters plus process uptime, JSON-serializable."""
-        with self._lock:
-            data: Dict[str, object] = dict(self._counters)
+        """All counters plus process uptime, JSON-serializable.
+
+        The flat counter keys are a stable contract (CI smoke gate);
+        the ``histograms`` block is additive.
+        """
+        data: Dict[str, object] = {
+            name: int(counter.value()) for name, counter in self._counters.items()
+        }
         data["uptime_seconds"] = round(time.monotonic() - self._started_monotonic, 3)
         data["started_at"] = round(self._started_wall, 3)
+        histograms: Dict[str, object] = {}
+        queue_state = self._queue_latency.collect().get(())
+        if queue_state is not None:
+            histograms["queue_latency_seconds"] = {
+                "sum": queue_state[1],
+                "count": queue_state[2],
+            }
+        solve: Dict[str, object] = {}
+        for key, state in sorted(self._solve_latency.collect().items()):
+            solve[key[0]] = {"sum": state[1], "count": state[2]}
+        if solve:
+            histograms["solve_latency_seconds"] = solve
+        data["histograms"] = histograms
         return data

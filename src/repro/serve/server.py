@@ -13,10 +13,14 @@ Endpoints:
   ``failed`` plus the result record once finished);
 * ``GET /jobs/{id}/trace`` — the job's recorded Chrome trace document
   (404 unless the service was started with a ``trace_dir``);
+* ``GET /jobs/{id}/progress`` — live worker heartbeat of a running job
+  (IC3 frame, lemma/obligation totals, RSS/CPU, heartbeat age);
 * ``GET /jobs`` — id/status summaries of tracked jobs;
 * ``GET /health`` — liveness + pool/queue occupancy;
-* ``GET /metrics`` — the counters of :mod:`repro.serve.metrics` plus
-  sampled gauges, as JSON.
+* ``GET /metrics`` — Prometheus text exposition (content-negotiated:
+  an ``Accept: application/json`` header gets the JSON snapshot);
+* ``GET /metrics.json`` — the flat JSON counter snapshot of
+  :mod:`repro.serve.metrics` plus sampled gauges (stable contract).
 
 Submissions are parsed and digested off the event loop (in the default
 executor) so a large model cannot stall polling clients.
@@ -90,7 +94,13 @@ class JobServer:
             return
         except Exception as exc:  # noqa: BLE001 - a handler bug must not kill the loop
             status, headers, payload = 500, {}, {"error": f"{type(exc).__name__}: {exc}"}
-        body = json.dumps(payload, indent=2).encode("utf-8") + b"\n"
+        if isinstance(payload, str):
+            # Plain-text responses (the Prometheus exposition) pass
+            # through verbatim; the route sets their Content-Type.
+            body = payload.encode("utf-8")
+            headers.setdefault("Content-Type", "text/plain; charset=utf-8")
+        else:
+            body = json.dumps(payload, indent=2).encode("utf-8") + b"\n"
         reason = _REASONS.get(status, "Unknown")
         lines = [f"HTTP/1.1 {status} {reason}"]
         headers.setdefault("Content-Type", "application/json")
@@ -107,7 +117,7 @@ class JobServer:
 
     async def _process(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[int, Dict[str, str], Dict[str, Any]]:
+    ) -> Tuple[int, Dict[str, str], Any]:
         request_line = (await reader.readline()).decode("latin-1").strip()
         if not request_line:
             return 400, {}, {"error": "empty request"}
@@ -133,7 +143,7 @@ class JobServer:
 
     async def _route(
         self, method: str, path: str, headers: Dict[str, str], body: bytes
-    ) -> Tuple[int, Dict[str, str], Dict[str, Any]]:
+    ) -> Tuple[int, Dict[str, str], Any]:
         if path == "/jobs" and method == "POST":
             tenant = headers.get("x-tenant", "anonymous") or "anonymous"
             loop = asyncio.get_running_loop()
@@ -155,6 +165,12 @@ class JobServer:
             if document is None:
                 return 404, {}, {"error": "no trace for this job (tracing off or not recorded)"}
             return 200, {}, document
+        if path.startswith("/jobs/") and path.endswith("/progress") and method == "GET":
+            job_id = path[len("/jobs/"):-len("/progress")]
+            progress = self.service.job_progress(job_id)
+            if progress is None:
+                return 404, {}, {"error": "unknown job id"}
+            return 200, {}, progress
         if path.startswith("/jobs/") and method == "GET":
             job = self.service.get_job(path[len("/jobs/"):])
             if job is None:
@@ -165,8 +181,13 @@ class JobServer:
         if path == "/health" and method == "GET":
             return 200, {}, self.service.health()
         if path == "/metrics" and method == "GET":
+            if "application/json" in headers.get("accept", ""):
+                return 200, {}, self.service.metrics_snapshot()
+            text = self.service.metrics_prometheus()
+            return 200, {"Content-Type": "text/plain; version=0.0.4; charset=utf-8"}, text
+        if path == "/metrics.json" and method == "GET":
             return 200, {}, self.service.metrics_snapshot()
-        if path in ("/jobs", "/health", "/metrics") or path.startswith("/jobs/"):
+        if path in ("/jobs", "/health", "/metrics", "/metrics.json") or path.startswith("/jobs/"):
             return 405, {"Allow": "GET, POST"}, {"error": f"method {method} not allowed"}
         return 404, {}, {"error": f"no route for {path}"}
 
@@ -182,7 +203,7 @@ def run_server(
         print(f"repro-serve listening on {server.address}")
         print(
             "endpoints: POST /jobs, GET /jobs/{id}, GET /jobs/{id}/trace, "
-            "GET /health, GET /metrics"
+            "GET /jobs/{id}/progress, GET /health, GET /metrics, GET /metrics.json"
         )
         try:
             await server.serve_forever()

@@ -109,7 +109,12 @@ class VerificationService:
         max_jobs_kept: int = 1024,
         grace: Optional[float] = None,
         trace_dir: Optional[str] = None,
+        heartbeats: bool = True,
+        heartbeat_interval: float = 0.25,
+        stall_timeout: Optional[float] = 10.0,
     ):
+        import tempfile
+
         self.default_timeout = default_timeout
         self.max_timeout = max_timeout
         self.trace_dir = trace_dir
@@ -117,6 +122,9 @@ class VerificationService:
         self.cache = ResultCache(max_entries=cache_size)
         self.budgets = TenantBudgets(rate=tenant_rate, burst=tenant_burst)
         self.queue = JobQueue(maxsize=queue_depth)
+        self.heartbeat_dir: Optional[str] = (
+            tempfile.mkdtemp(prefix="repro-serve-hb-") if heartbeats else None
+        )
         self.pool = WarmWorkerPool(
             self.queue,
             self._on_result,
@@ -126,6 +134,9 @@ class VerificationService:
             metrics=self.metrics,
             on_start=self._on_start,
             trace_dir=trace_dir,
+            heartbeat_dir=self.heartbeat_dir,
+            heartbeat_interval=heartbeat_interval,
+            stall_timeout=stall_timeout if heartbeats else None,
         )
         self.max_jobs_kept = max_jobs_kept
         self._jobs: "Dict[str, Job]" = {}
@@ -150,6 +161,11 @@ class VerificationService:
             self._finish_job(
                 job_id, error_record("service shut down before the job started"), FAILED
             )
+        if self.heartbeat_dir is not None:
+            import shutil
+
+            shutil.rmtree(self.heartbeat_dir, ignore_errors=True)
+            self.heartbeat_dir = None
 
     # -- submission -----------------------------------------------------
     def submit_raw(
@@ -254,10 +270,17 @@ class VerificationService:
         return 202, job.summary()
 
     def _retry_after_estimate(self) -> float:
-        """Seconds until a queue slot likely frees up: one job budget's
-        worth of drain across the pool."""
-        budget = self.default_timeout
-        return max(1.0, budget / max(1, self.pool.size))
+        """Seconds until a queue slot likely frees up.
+
+        Estimated from the *observed* drain rate: the mean solve latency
+        so far (falling back to the default budget before the first job
+        finishes) times the current backlog, spread across the pool.
+        """
+        avg = self.metrics.mean_solve_latency()
+        if avg is None:
+            avg = self.default_timeout
+        backlog = len(self.queue) + self.pool.busy_workers
+        return max(1.0, avg * max(1, backlog) / max(1, self.pool.size))
 
     # -- job table ------------------------------------------------------
     def _remember(self, job: Job) -> None:
@@ -308,6 +331,40 @@ class VerificationService:
             return None
         return to_chrome_document(events)
 
+    def job_progress(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """Live progress of one job from its worker's heartbeat.
+
+        The document always carries the job's lifecycle status; while the
+        job is running on a heartbeat-enabled pool it additionally carries
+        the worker's pid/busy time and the latest heartbeat record (IC3
+        frame, lemma/obligation totals, BMC bound, RSS/CPU, …) with its
+        age in seconds.  Returns None for unknown jobs.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            progress: Dict[str, Any] = {
+                "id": job_id,
+                "status": job.status,
+                "cache_hit": job.cache_hit,
+            }
+        worker = self.pool.worker_for_job(job_id)
+        if worker is not None:
+            progress["worker"] = worker
+            record = self.pool.worker_heartbeat(worker["pid"])
+            if record is not None:
+                from repro.obs.heartbeat import HeartbeatMonitor
+
+                heartbeat = dict(record.get("progress", {}))
+                heartbeat["seq"] = record.get("seq")
+                heartbeat["age_seconds"] = round(HeartbeatMonitor.age(record), 3)
+                for key in ("rss_kb", "cpu_seconds"):
+                    if record.get(key) is not None:
+                        heartbeat[key] = record[key]
+                progress["heartbeat"] = heartbeat
+        return progress
+
     def list_jobs(self) -> List[Dict[str, Any]]:
         with self._lock:
             return [
@@ -337,6 +394,9 @@ class VerificationService:
                 job.status = RUNNING
                 job.started_at = time.time()
                 job.started_mono = time.monotonic()
+                self.metrics.observe_queue_latency(
+                    job.started_mono - job.submitted_mono
+                )
 
     def _on_result(self, job_id: str, record: Dict[str, Any], kind: str) -> None:
         if kind == "timeout":
@@ -371,6 +431,8 @@ class VerificationService:
             self.cache.put(cache_key(spec.digest, spec.options), record)
         else:
             self.metrics.incr("jobs_failed")
+        verdict = "error" if status == FAILED else str(record.get("result", "unknown"))
+        self.metrics.observe_solve_latency(verdict, float(record.get("runtime", 0.0) or 0.0))
         job.done_event.set()
 
     # -- introspection --------------------------------------------------
@@ -396,3 +458,35 @@ class VerificationService:
             }
         )
         return data
+
+    def metrics_prometheus(self) -> str:
+        """The daemon's full Prometheus text exposition.
+
+        Merges the service's private registry (counters, latency
+        histograms, point-in-time gauges refreshed here) with the global
+        process registry (engine/SAT/harness families) into one page.
+        """
+        from repro.obs.metrics import get_registry, merge_snapshots, render_prometheus
+
+        registry = self.metrics.registry
+        registry.gauge(
+            "repro_serve_queue_depth", "Jobs currently waiting in the queue."
+        ).set(len(self.queue))
+        registry.gauge(
+            "repro_serve_busy_workers", "Warm workers currently running a job."
+        ).set(self.pool.busy_workers)
+        registry.gauge(
+            "repro_serve_cache_entries", "Entries in the structural-digest cache."
+        ).set(len(self.cache))
+        registry.gauge(
+            "repro_serve_uptime_seconds", "Seconds since the service metrics started."
+        ).set(time.monotonic() - self.metrics._started_monotonic)
+        tokens = registry.gauge(
+            "repro_serve_tenant_tokens",
+            "Remaining token-bucket budget per tenant.",
+            labels=("tenant",),
+        )
+        for tenant, value in sorted(self.budgets.snapshot().items()):
+            tokens.set(float(value), tenant=str(tenant))
+        merged = merge_snapshots([get_registry().snapshot(), registry.snapshot()])
+        return render_prometheus(merged)

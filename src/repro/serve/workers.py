@@ -37,7 +37,16 @@ import time
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.harness.pool import _kill_hard, default_grace
-from repro.obs.tracer import FLIGHT_PREFIX, JsonlSink, Tracer, install, uninstall
+from repro.obs.heartbeat import (
+    DEFAULT_INTERVAL,
+    NULL_HEARTBEAT,
+    Heartbeat,
+    HeartbeatMonitor,
+    heartbeat_path,
+    install_heartbeat,
+    uninstall_heartbeat,
+)
+from repro.obs.tracer import FLIGHT_PREFIX, JsonlSink, Tracer, get_tracer, install, uninstall
 from repro.serve.jobqueue import JobQueue
 from repro.serve.metrics import Metrics
 from repro.serve.protocol import JobOptions, error_record, outcome_to_record
@@ -179,30 +188,62 @@ def _traced_execute(job_id: str, payload: Dict[str, Any], warm, trace_dir: str):
         tracer.close()
 
 
-def _worker_main(conn, trace_dir: Optional[str] = None) -> None:
-    """Worker-process body: isolate a process group, then serve jobs."""
+def _worker_main(
+    conn,
+    trace_dir: Optional[str] = None,
+    heartbeat_dir: Optional[str] = None,
+    heartbeat_interval: float = DEFAULT_INTERVAL,
+) -> None:
+    """Worker-process body: isolate a process group, then serve jobs.
+
+    With a ``heartbeat_dir`` the worker installs a publishing
+    :class:`~repro.obs.heartbeat.Heartbeat` (independent of tracing —
+    the liveness channel works with tracing off) that the engines feed
+    and the dispatcher's stall watchdog reads; fields are reset at job
+    boundaries so a poll never sees a previous job's progress.
+    """
     try:
         os.setpgid(0, 0)
     except OSError:  # pragma: no cover - already a group leader
         pass
+    heartbeat = NULL_HEARTBEAT
+    if heartbeat_dir:
+        try:
+            heartbeat = install_heartbeat(
+                Heartbeat(
+                    role="serve",
+                    path=heartbeat_path(heartbeat_dir, "serve"),
+                    interval=heartbeat_interval,
+                )
+            )
+        except OSError:  # pragma: no cover - unwritable heartbeat dir
+            heartbeat = NULL_HEARTBEAT
     warm: Dict[Any, Any] = {}
-    while True:
-        try:
-            message = conn.recv()
-        except (EOFError, OSError):
-            break
-        if message is None:
-            break
-        job_id, payload = message
-        if trace_dir:
-            record = _traced_execute(job_id, payload, warm, trace_dir)
-        else:
-            record = _execute_job(payload, warm)
-        try:
-            conn.send((job_id, record))
-        except (BrokenPipeError, OSError):
-            break
-    conn.close()
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if message is None:
+                break
+            job_id, payload = message
+            heartbeat.reset(
+                state="running", job=job_id, engine=payload["options"].engine
+            )
+            if trace_dir:
+                record = _traced_execute(job_id, payload, warm, trace_dir)
+            else:
+                record = _execute_job(payload, warm)
+            heartbeat.reset(state="idle")
+            try:
+                conn.send((job_id, record))
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        uninstall_heartbeat()
+        heartbeat.close()
+        conn.close()
 
 
 # ----------------------------------------------------------------------
@@ -211,12 +252,19 @@ def _worker_main(conn, trace_dir: Optional[str] = None) -> None:
 class _WorkerHandle:
     """Parent-side state of one warm worker process."""
 
-    def __init__(self, ctx, index: int, trace_dir: Optional[str] = None):
+    def __init__(
+        self,
+        ctx,
+        index: int,
+        trace_dir: Optional[str] = None,
+        heartbeat_dir: Optional[str] = None,
+        heartbeat_interval: float = DEFAULT_INTERVAL,
+    ):
         self.index = index
         self.conn, child_conn = ctx.Pipe(duplex=True)
         self.proc = ctx.Process(
             target=_worker_main,
-            args=(child_conn, trace_dir),
+            args=(child_conn, trace_dir, heartbeat_dir, heartbeat_interval),
             name=f"serve-worker-{index}",
         )
         self.proc.start()
@@ -267,9 +315,18 @@ class WarmWorkerPool:
     """Dispatches queued jobs onto warm workers with hard deadlines.
 
     ``on_result(job_id, record, kind)`` is invoked from the dispatcher
-    thread for every finished job; ``kind`` is ``"ok"``, ``"crash"`` or
-    ``"timeout"``.  ``on_start(job_id)`` (optional) fires when a job is
-    handed to a worker.
+    thread for every finished job; ``kind`` is ``"ok"``, ``"crash"``,
+    ``"timeout"`` or ``"stall"``.  ``on_start(job_id)`` (optional) fires
+    when a job is handed to a worker.
+
+    With a ``heartbeat_dir``, workers publish heartbeat records into it
+    and the dispatcher runs a **stall watchdog**: a busy worker whose
+    heartbeat record is older than ``stall_timeout`` seconds is killed
+    and replaced *early* — before its hard deadline — because a silent
+    publisher thread means the process is frozen (SIGSTOP), wedged
+    outside the interpreter, or dead.  A worker that is merely slow
+    keeps beating (the GIL preempts into the publisher thread even
+    mid-SAT-call) and is never stalled.
     """
 
     def __init__(
@@ -283,6 +340,9 @@ class WarmWorkerPool:
         metrics: Optional[Metrics] = None,
         on_start: Optional[Callable[[str], None]] = None,
         trace_dir: Optional[str] = None,
+        heartbeat_dir: Optional[str] = None,
+        heartbeat_interval: float = DEFAULT_INTERVAL,
+        stall_timeout: Optional[float] = None,
     ):
         if size <= 0:
             raise ValueError("pool size must be positive")
@@ -295,6 +355,10 @@ class WarmWorkerPool:
         self.max_jobs_per_worker = max_jobs_per_worker
         self.grace = grace
         self.trace_dir = trace_dir
+        self.heartbeat_dir = heartbeat_dir
+        self.heartbeat_interval = heartbeat_interval
+        self.stall_timeout = stall_timeout
+        self._monitor = HeartbeatMonitor(heartbeat_dir) if heartbeat_dir else None
         self.metrics = metrics or Metrics()
         self._ctx = multiprocessing.get_context()
         self._workers: List[_WorkerHandle] = []
@@ -355,14 +419,45 @@ class WarmWorkerPool:
     def alive(self) -> bool:
         return self._thread is not None and self._thread.is_alive()
 
+    def worker_for_job(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """Pid and busy time of the worker currently running ``job_id``."""
+        with self._lock:
+            for worker in self._workers:
+                if worker.job_id == job_id:
+                    return {
+                        "pid": worker.proc.pid,
+                        "busy_seconds": time.perf_counter() - worker.started_at,
+                        "deadline_seconds": worker.deadline - time.perf_counter(),
+                    }
+        return None
+
+    def worker_heartbeat(self, pid: int) -> Optional[Dict[str, Any]]:
+        """The latest heartbeat record of one worker process (or None)."""
+        if self._monitor is None:
+            return None
+        return self._monitor.latest_for(pid)
+
     # -- internals ------------------------------------------------------
     def _spawn(self) -> _WorkerHandle:
-        handle = _WorkerHandle(self._ctx, self._next_index, self.trace_dir)
+        handle = _WorkerHandle(
+            self._ctx,
+            self._next_index,
+            self.trace_dir,
+            self.heartbeat_dir,
+            self.heartbeat_interval,
+        )
         self._next_index += 1
         return handle
 
     def _replace(self, worker: _WorkerHandle, *, kill: bool) -> None:
         worker.stop(kill=kill)
+        if self.heartbeat_dir and worker.proc.pid is not None:
+            # Drop the dead worker's record so a recycled OS pid can
+            # never inherit a stale heartbeat.
+            try:
+                os.remove(heartbeat_path(self.heartbeat_dir, "serve", worker.proc.pid))
+            except OSError:
+                pass
         with self._lock:
             position = self._workers.index(worker)
             self._workers[position] = self._spawn()
@@ -387,6 +482,7 @@ class WarmWorkerPool:
                 for conn in ready:
                     self._collect(by_conn[conn])
                 self._reap_overdue()
+                self._reap_stalled()
             else:
                 time.sleep(_POLL_INTERVAL)
 
@@ -448,3 +544,44 @@ class WarmWorkerPool:
                     "timeout",
                 )
                 self._replace(worker, kill=True)
+
+    def _reap_stalled(self) -> None:
+        """Early replacement of workers whose heartbeat went silent.
+
+        Only workers that have been busy longer than ``stall_timeout``
+        are examined (a fresh assignment gets that long to publish its
+        first beat), and a worker with no record at all is judged by its
+        busy time — a crashed-on-arrival worker is caught by the pipe
+        EOF in :meth:`_collect` first.
+        """
+        if self._monitor is None or self.stall_timeout is None:
+            return
+        now = time.perf_counter()
+        for worker in self._workers:
+            if not worker.busy:
+                continue
+            busy_for = now - worker.started_at
+            if busy_for <= self.stall_timeout:
+                continue
+            record = self._monitor.latest_for(worker.proc.pid)
+            age = self._monitor.age(record) if record is not None else busy_for
+            if age <= self.stall_timeout:
+                continue
+            self.metrics.incr("worker_stalls")
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.instant(
+                    "serve.stall",
+                    cat="serve",
+                    job=worker.job_id,
+                    pid=worker.proc.pid,
+                    age=round(age, 2),
+                )
+            self._finish(
+                worker,
+                error_record(
+                    f"stalled: no heartbeat for {age:.1f}s", runtime=busy_for
+                ),
+                "stall",
+            )
+            self._replace(worker, kill=True)

@@ -76,7 +76,10 @@ class TestManifestDeterminism:
 
     def test_substrate_stats_present_and_deterministic(self):
         manifest = _manifest(jobs=4)
-        assert manifest["schema"] == MANIFEST_SCHEMA == "repro-check/manifest/v8"
+        assert manifest["schema"] == MANIFEST_SCHEMA == "repro-check/manifest/v9"
+        # v9: the telemetry block defaults to None so identical runs keep
+        # producing byte-identical manifests.
+        assert manifest["telemetry"] is None
         for result in manifest["results"]:
             stats = result["stats"]
             for field in (

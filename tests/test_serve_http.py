@@ -63,6 +63,15 @@ class ServerUnderTest:
         except urllib.error.HTTPError as exc:
             return exc.code, json.loads(exc.read()), dict(exc.headers)
 
+    def request_text(self, path, *, headers=None):
+        req = urllib.request.Request(self.base + path, headers=headers or {})
+        with urllib.request.urlopen(req, timeout=30) as response:
+            return (
+                response.status,
+                response.read().decode("utf-8"),
+                dict(response.headers),
+            )
+
     def poll_done(self, job_id, timeout=60.0):
         deadline = time.monotonic() + timeout
         while time.monotonic() < deadline:
@@ -85,10 +94,26 @@ class TestHttpApi:
     def test_health_and_metrics(self, server):
         status, health, _ = server.request("/health")
         assert status == 200 and health["status"] == "ok"
-        status, metrics, _ = server.request("/metrics")
+        status, metrics, _ = server.request("/metrics.json")
         assert status == 200
         assert metrics["jobs_submitted"] == 0
         assert "uptime_seconds" in metrics
+
+    def test_metrics_content_negotiation(self, server):
+        from repro.obs.metrics import parse_prometheus
+
+        status, text, headers = server.request_text("/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        families = parse_prometheus(text)
+        assert families["repro_serve_jobs_submitted_total"]["type"] == "counter"
+        assert "repro_serve_queue_depth" in families
+
+        status, metrics, _ = server.request(
+            "/metrics", headers={"Accept": "application/json"}
+        )
+        assert status == 200
+        assert metrics["jobs_submitted"] == 0
 
     def test_submit_poll_and_cached_resubmit(self, server):
         body = json.dumps({"model": SAFE_TEXT, "timeout": 20}).encode()
@@ -105,9 +130,14 @@ class TestHttpApi:
         assert second["cache_hit"] is True
         assert second["result"] == done["result"]
 
-        _, metrics, _ = server.request("/metrics")
+        _, metrics, _ = server.request("/metrics.json")
         assert metrics["jobs_submitted"] == 2
         assert metrics["cache_hits"] == 1
+        # The solved job fed the latency histograms (satellite contract:
+        # the JSON snapshot stays flat-counter compatible, the histogram
+        # block is additive).
+        assert metrics["histograms"]["solve_latency_seconds"]["safe"]["count"] >= 1
+        assert metrics["histograms"]["queue_latency_seconds"]["count"] >= 1
 
     def test_raw_aag_body_accepted(self, server):
         status, payload, _ = server.request(
@@ -155,6 +185,32 @@ class TestBackpressureOverHttp:
         finally:
             server.stop()
 
+    def test_retry_after_tracks_observed_drain_rate(self):
+        server = ServerUnderTest(workers=1, queue_depth=1).start()
+        try:
+            # Seed the solve-latency histogram as if jobs had completed
+            # with a 6 s mean, then check the 503's Retry-After is derived
+            # from that observed drain rate, not the static default budget.
+            server.service.metrics.observe_solve_latency("safe", 6.0)
+            server.service.pool.pause()
+            body = SAFE_TEXT.encode()
+            assert server.request("/jobs", data=body, method="POST")[0] == 202
+            status, payload, headers = server.request("/jobs", data=body, method="POST")
+            assert status == 503
+
+            _, metrics, _ = server.request("/metrics.json")
+            solve = metrics["histograms"]["solve_latency_seconds"]
+            mean = sum(v["sum"] for v in solve.values()) / sum(
+                v["count"] for v in solve.values()
+            )
+            backlog = metrics["queue_depth"] + metrics["busy_workers"]
+            expected = max(1.0, mean * max(1, backlog) / server.service.pool.size)
+            assert int(headers["Retry-After"]) == int(expected + 0.999)
+            assert payload["retry_after"] == int(expected + 0.999)
+            server.service.pool.resume()
+        finally:
+            server.stop()
+
     def test_tenant_budget_answers_429_with_retry_after(self):
         server = ServerUnderTest(tenant_rate=0.001, tenant_burst=1.0).start()
         try:
@@ -167,7 +223,7 @@ class TestBackpressureOverHttp:
             )
             assert status == 429
             assert "Retry-After" in reply_headers
-            _, metrics, _ = server.request("/metrics")
+            _, metrics, _ = server.request("/metrics.json")
             assert metrics["budget_rejections"] == 1
             assert metrics["tenant_tokens"]["greedy"] < 1.0
         finally:
